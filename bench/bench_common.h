@@ -1,0 +1,86 @@
+// Shared helpers for the benchmark harnesses (one binary per table/figure
+// of the survey; see DESIGN.md Section 4 for the experiment index).
+#ifndef DLNER_BENCH_BENCH_COMMON_H_
+#define DLNER_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/gazetteer.h"
+#include "embeddings/lm.h"
+#include "embeddings/sgns.h"
+
+namespace dlner::bench {
+
+/// Train/test pair where the test split injects out-of-vocabulary entities
+/// and genre-typical noise, so architectures differentiate the way they do
+/// on real corpora (memorizable synthetic data would saturate at F1=1).
+struct BenchData {
+  text::Corpus train;
+  text::Corpus dev;
+  text::Corpus test;
+};
+
+inline BenchData MakeBenchData(data::Genre genre, int train_size,
+                               int test_size, uint64_t seed,
+                               double test_oov = 0.35) {
+  data::GenOptions train_opts = data::DefaultOptionsFor(genre);
+  train_opts.num_sentences = train_size;
+  train_opts.seed = seed;
+
+  data::GenOptions test_opts = train_opts;
+  test_opts.num_sentences = test_size;
+  test_opts.seed = seed + 1;
+  test_opts.oov_entity_fraction = test_oov;
+
+  data::GenOptions dev_opts = test_opts;
+  dev_opts.num_sentences = test_size / 2 + 1;
+  dev_opts.seed = seed + 2;
+
+  BenchData bd;
+  bd.train = data::GenerateCorpus(genre, train_opts);
+  bd.dev = data::GenerateCorpus(genre, dev_opts);
+  bd.test = data::GenerateCorpus(genre, test_opts);
+  return bd;
+}
+
+/// Trains a model described by `config` and returns its exact-match test
+/// micro-F1.
+inline double TrainAndScore(const core::NerConfig& config,
+                            const BenchData& data,
+                            const std::vector<std::string>& types,
+                            const core::Resources& resources = {},
+                            int epochs = 8, double lr = 0.015) {
+  core::NerModel model(config, data.train, types, resources);
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.lr = lr;
+  core::Trainer trainer(&model, tc);
+  trainer.Train(data.train, nullptr);
+  return model.Evaluate(data.test).micro.f1();
+}
+
+/// Wall-clock helper.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace dlner::bench
+
+#endif  // DLNER_BENCH_BENCH_COMMON_H_

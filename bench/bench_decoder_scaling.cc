@@ -1,0 +1,113 @@
+// E6 — Section 3.4.3 decoder-scaling claim (Shen et al.): "RNN tag decoders
+// outperform CRF and are faster to train when the number of entity types is
+// large" — the CRF forward/Viterbi recursions cost O(K^2) per token in the
+// tag-set size K, the greedy RNN decoder O(K).
+//
+// We time one training step (loss + backward) and one decode over growing
+// tag sets, with the encoder held fixed.
+#include "bench/bench_common.h"
+#include "decoders/crf.h"
+#include "decoders/rnn_decoder.h"
+#include "decoders/softmax.h"
+
+namespace {
+
+using namespace dlner;
+using namespace dlner::bench;
+
+constexpr int kSeqLen = 24;
+constexpr int kEncDim = 32;
+
+// Builds a synthetic BIOES tag set with the requested entity-type count.
+std::vector<std::string> SyntheticTypes(int count) {
+  std::vector<std::string> types;
+  for (int i = 0; i < count; ++i) types.push_back("T" + std::to_string(i));
+  return types;
+}
+
+text::Sentence SyntheticGold(int num_types, Rng* rng) {
+  text::Sentence s;
+  for (int t = 0; t < kSeqLen; ++t) s.tokens.push_back("w");
+  int pos = 0;
+  while (pos + 2 < kSeqLen) {
+    const int len = rng->UniformInt(1, 2);
+    s.spans.push_back(
+        {pos, pos + len, "T" + std::to_string(rng->UniformInt(0, num_types - 1))});
+    pos += len + rng->UniformInt(1, 3);
+  }
+  return s;
+}
+
+struct Timing {
+  double train_ms;
+  double decode_ms;
+};
+
+template <typename MakeDecoder>
+Timing Time(MakeDecoder make, const text::Sentence& gold) {
+  Rng data_rng(5);
+  Tensor enc_t({kSeqLen, kEncDim});
+  for (int i = 0; i < enc_t.size(); ++i) enc_t[i] = data_rng.Uniform(-1, 1);
+  Var enc = Constant(enc_t);
+
+  auto decoder = make();
+  // Warm-up.
+  Backward(decoder->Loss(enc, gold));
+  decoder->Predict(enc);
+
+  const int reps = 30;
+  Stopwatch train_sw;
+  for (int r = 0; r < reps; ++r) Backward(decoder->Loss(enc, gold));
+  const double train_ms = 1000.0 * train_sw.Seconds() / reps;
+  Stopwatch decode_sw;
+  for (int r = 0; r < reps; ++r) decoder->Predict(enc);
+  const double decode_ms = 1000.0 * decode_sw.Seconds() / reps;
+  return {train_ms, decode_ms};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E6: decoder cost vs tag-set size (survey Section 3.4)");
+  std::printf("%8s %6s | %12s %12s %12s | %12s %12s %12s\n", "#types",
+              "#tags", "sm train", "crf train", "rnn train", "sm dec",
+              "crf dec", "rnn dec");
+  std::printf("%15s | %38s | %38s\n", "", "ms per sentence (loss+backward)",
+              "ms per sentence (decode)");
+
+  for (int num_types : {1, 2, 4, 8, 16, 32, 64}) {
+    auto types = SyntheticTypes(num_types);
+    text::TagSet tags(types, text::TagScheme::kBioes);
+    Rng gold_rng(7);
+    text::Sentence gold = SyntheticGold(num_types, &gold_rng);
+
+    Rng rng(11);
+    Timing sm = Time(
+        [&] {
+          return std::make_unique<decoders::SoftmaxDecoder>(kEncDim, &tags,
+                                                            &rng);
+        },
+        gold);
+    Timing crf = Time(
+        [&] {
+          return std::make_unique<decoders::CrfDecoder>(kEncDim, &tags, &rng);
+        },
+        gold);
+    Timing rnn = Time(
+        [&] {
+          return std::make_unique<decoders::RnnDecoder>(kEncDim, &tags, 8, 24,
+                                                        &rng);
+        },
+        gold);
+    std::printf("%8d %6d | %12.3f %12.3f %12.3f | %12.3f %12.3f %12.3f\n",
+                num_types, tags.size(), sm.train_ms, crf.train_ms,
+                rnn.train_ms, sm.decode_ms, crf.decode_ms, rnn.decode_ms);
+  }
+  std::printf(
+      "\nShape check vs the paper: CRF time grows quadratically with the\n"
+      "tag count and overtakes the RNN decoder for large tag sets, while\n"
+      "softmax/RNN grow roughly linearly (survey Sections 3.4.3 and 3.5:\n"
+      "\"CRF could be computationally expensive when the number of entity\n"
+      "types is large\").\n");
+  return 0;
+}

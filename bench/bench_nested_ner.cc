@@ -1,0 +1,112 @@
+// E14 — Sections 3.3.2 and 5.1: nested named entities.
+//
+// The survey cites nesting prevalence (17% of GENIA entities, 30% of ACE
+// sentences) and Ju et al.'s layered flat-NER solution. We compare a single
+// flat model (outermost annotations only — all a flat tagger can encode)
+// against the layered stack, on a nested corpus, reporting overall F1 plus
+// recall split into innermost vs. outer mentions.
+#include <set>
+
+#include "bench/bench_common.h"
+
+#include "applied/nested.h"
+#include "core/trainer.h"
+
+namespace {
+
+using namespace dlner;
+using namespace dlner::bench;
+
+// Recall over a subset of gold spans (level 0 = innermost).
+double LevelRecall(const text::Corpus& test,
+                   const std::vector<text::Corpus>& levels, int level,
+                   const std::function<std::vector<text::Span>(
+                       const std::vector<std::string>&)>& predict) {
+  int tp = 0, total = 0;
+  for (size_t i = 0; i < test.sentences.size(); ++i) {
+    const auto& gold_level = levels[level].sentences[i].spans;
+    if (gold_level.empty()) continue;
+    std::vector<text::Span> pred = predict(test.sentences[i].tokens);
+    std::set<text::Span> pred_set(pred.begin(), pred.end());
+    for (const text::Span& g : gold_level) {
+      ++total;
+      if (pred_set.count(g) > 0) ++tp;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(tp) / total;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E14: nested NER via layered flat models (survey Section 5.1)");
+
+  text::Corpus corpus = data::MakeDataset("nested-like", 400, 141);
+  data::DataSplit split = data::SplitCorpus(corpus, 0.75, 0.0, 142);
+  const auto& types = data::EntityTypesFor(data::Genre::kNested);
+
+  data::CorpusStats stats = data::ComputeStats(split.test);
+  std::printf("test: %d sentences, %.0f%% with nested mentions\n",
+              stats.sentences, 100.0 * stats.nested_fraction);
+
+  core::NerConfig config;
+  config.use_char_cnn = true;
+  config.seed = 143;
+  core::TrainConfig tc;
+  tc.epochs = 8;
+  tc.lr = 0.015;
+
+  // Flat baseline: trained on outermost annotations only.
+  auto train_levels = applied::SplitNestingLevels(split.train);
+  text::Corpus outer_only;
+  outer_only.sentences.resize(split.train.sentences.size());
+  for (size_t i = 0; i < outer_only.sentences.size(); ++i) {
+    outer_only.sentences[i].tokens = split.train.sentences[i].tokens;
+    for (int l = static_cast<int>(train_levels.size()) - 1; l >= 0; --l) {
+      if (!train_levels[l].sentences[i].spans.empty()) {
+        outer_only.sentences[i].spans = train_levels[l].sentences[i].spans;
+        break;
+      }
+    }
+  }
+  core::NerModel flat(config, split.train, types);
+  {
+    core::Trainer trainer(&flat, tc);
+    trainer.Train(outer_only, nullptr);
+  }
+
+  applied::LayeredNerModel layered(config, types);
+  layered.Train(split.train, tc);
+
+  auto test_levels = applied::SplitNestingLevels(split.test);
+  auto flat_predict = [&](const std::vector<std::string>& tokens) {
+    return flat.Predict(tokens);
+  };
+  auto layered_predict = [&](const std::vector<std::string>& tokens) {
+    return layered.Predict(tokens);
+  };
+
+  eval::ExactMatchEvaluator flat_ev, layered_ev;
+  for (const auto& s : split.test.sentences) {
+    flat_ev.Add(s.spans, flat.Predict(s.tokens));
+    layered_ev.Add(s.spans, layered.Predict(s.tokens));
+  }
+
+  std::printf("\n%-26s %10s %14s %14s\n", "model", "micro-F1",
+              "inner recall", "outer recall");
+  std::printf("%-26s %10.3f %14.3f %14.3f\n", "flat (outermost only)",
+              flat_ev.Result().micro.f1(),
+              LevelRecall(split.test, test_levels, 0, flat_predict),
+              LevelRecall(split.test, test_levels, 1, flat_predict));
+  std::printf("%-26s %10.3f %14.3f %14.3f   (%d levels)\n",
+              "layered flat NER (Ju et al.)",
+              layered_ev.Result().micro.f1(),
+              LevelRecall(split.test, test_levels, 0, layered_predict),
+              LevelRecall(split.test, test_levels, 1, layered_predict),
+              layered.num_levels());
+  std::printf(
+      "\nShape check vs the paper: the flat model's innermost-mention recall\n"
+      "collapses (it never predicts overlapping spans), while the layered\n"
+      "stack recovers both levels (survey Sections 3.3.2 and 5.1).\n");
+  return 0;
+}

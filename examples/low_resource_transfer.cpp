@@ -1,0 +1,67 @@
+// Low-resource cross-domain transfer (survey Section 4.2): a source model
+// trained on abundant newswire is adapted to a tiny noisy social-media
+// corpus by parameter transfer + fine-tuning (Yang et al. 2017; Lee et al.
+// 2017), versus training the target model from scratch.
+#include <cstdio>
+
+#include "applied/transfer.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+int main() {
+  using namespace dlner;
+
+  core::NerConfig config;
+  config.use_char_cnn = true;
+  config.encoder = "bilstm";
+  config.decoder = "crf";
+
+  core::TrainConfig tc;
+  tc.epochs = 10;
+  tc.lr = 0.015;
+
+  // Source: large formal-news corpus.
+  text::Corpus source_corpus = data::MakeDataset("conll-like", 400, 11);
+  core::NerModel source(config, source_corpus,
+                        data::EntityTypesFor(data::Genre::kNews));
+  {
+    core::Trainer trainer(&source, tc);
+    trainer.Train(source_corpus, nullptr);
+  }
+  std::printf("source (news) F1 on its own domain: %.3f\n\n",
+              source.Evaluate(source_corpus).micro.f1());
+
+  // Target: small noisy social-media corpus with a different label set.
+  text::Corpus target_pool = data::MakeDataset("wnut-like", 260, 12);
+  data::DataSplit target = data::SplitCorpus(target_pool, 0.6, 0.0, 13);
+  const auto target_types = data::EntityTypesFor(data::Genre::kSocial);
+
+  std::printf("%8s %12s %12s\n", "#target", "scratch F1", "fine-tune F1");
+  for (int size : {10, 25, 50, 100, 150}) {
+    text::Corpus small;
+    for (int i = 0; i < size && i < target.train.size(); ++i) {
+      small.sentences.push_back(target.train.sentences[i]);
+    }
+
+    core::NerConfig scratch_config = config;
+    scratch_config.seed = 100 + size;
+    core::NerModel scratch(scratch_config, small, target_types);
+    core::Trainer scratch_trainer(&scratch, tc);
+    scratch_trainer.Train(small, nullptr);
+
+    // Fine-tune: reuse source vocabularies + transferable parameters
+    // (char features, encoder); the decoder re-initializes because the
+    // label sets differ (Yang et al.'s non-mappable-label-set case).
+    auto tuned = applied::MakeFineTuneModel(source, config, target_types);
+    core::Trainer tuned_trainer(tuned.get(), tc);
+    tuned_trainer.Train(small, nullptr);
+
+    std::printf("%8d %12.3f %12.3f\n", size,
+                scratch.Evaluate(target.test).micro.f1(),
+                tuned->Evaluate(target.test).micro.f1());
+  }
+  std::printf(
+      "\nExpected shape: fine-tuning dominates at small target sizes and\n"
+      "the gap narrows as target data grows (survey Section 4.2).\n");
+  return 0;
+}

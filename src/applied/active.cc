@@ -1,0 +1,90 @@
+#include "applied/active.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "decoders/crf.h"
+
+namespace dlner::applied {
+
+ActiveLearner::ActiveLearner(core::NerModel* model,
+                             const ActiveConfig& config)
+    : model_(model), config_(config), rng_(config.seed) {
+  DLNER_CHECK(model_ != nullptr);
+  trainer_ = std::make_unique<core::Trainer>(model_, config_.train);
+}
+
+double ActiveLearner::Uncertainty(const text::Sentence& sentence) {
+  if (config_.strategy == "entropy") {
+    auto* crf = dynamic_cast<decoders::CrfDecoder*>(model_->decoder());
+    DLNER_CHECK_MSG(crf != nullptr,
+                    "entropy strategy requires a CRF decoder");
+    Var rep = model_->Represent(sentence.tokens, /*training=*/false);
+    Var enc = model_->Encode(rep, /*training=*/false);
+    Tensor marginals = crf->Marginals(crf->Emissions(enc)->value);
+    double total = 0.0;
+    for (int t = 0; t < marginals.rows(); ++t) {
+      for (int k = 0; k < marginals.cols(); ++k) {
+        const double p = marginals.at(t, k);
+        if (p > 1e-12) total -= p * std::log(p);
+      }
+    }
+    return total / marginals.rows();
+  }
+  // Least confidence: NLL of the model's own best prediction. The spans
+  // are re-labeled with the predicted annotation, so this works for every
+  // decoder type uniformly.
+  text::Sentence self = sentence;
+  self.spans = model_->Predict(sentence.tokens);
+  if (!text::SpansAreFlat(self.spans)) return 0.0;  // defensive
+  Var loss = model_->Loss(self, /*training=*/false);
+  return loss->value[0];
+}
+
+std::vector<ActiveRound> ActiveLearner::Run(const text::Corpus& pool,
+                                            const text::Corpus& test) {
+  const int n = pool.size();
+  std::vector<int> unlabeled(n);
+  std::iota(unlabeled.begin(), unlabeled.end(), 0);
+  rng_.Shuffle(&unlabeled);
+
+  text::Corpus labeled;
+  auto acquire = [&](int count) {
+    // Order remaining pool items by uncertainty (or leave the random
+    // shuffle order for the baseline strategy).
+    if (config_.strategy != "random" && !labeled.sentences.empty()) {
+      std::vector<std::pair<double, int>> scored;
+      scored.reserve(unlabeled.size());
+      for (int idx : unlabeled) {
+        scored.push_back({Uncertainty(pool.sentences[idx]), idx});
+      }
+      std::sort(scored.begin(), scored.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      unlabeled.clear();
+      for (const auto& [u, idx] : scored) unlabeled.push_back(idx);
+    }
+    const int take = std::min<int>(count, static_cast<int>(unlabeled.size()));
+    for (int i = 0; i < take; ++i) {
+      labeled.sentences.push_back(pool.sentences[unlabeled[i]]);
+    }
+    unlabeled.erase(unlabeled.begin(), unlabeled.begin() + take);
+  };
+
+  std::vector<ActiveRound> history;
+  acquire(config_.seed_size);
+  for (int round = 0; round <= config_.rounds; ++round) {
+    if (round > 0) acquire(config_.batch_size);
+    trainer_->TrainEpochs(labeled, config_.epochs_per_round);
+    ActiveRound stats;
+    stats.round = round;
+    stats.labeled_sentences = labeled.size();
+    stats.labeled_fraction = static_cast<double>(labeled.size()) / n;
+    stats.test_f1 = model_->Evaluate(test).micro.f1();
+    history.push_back(stats);
+    if (unlabeled.empty()) break;
+  }
+  return history;
+}
+
+}  // namespace dlner::applied

@@ -1,0 +1,51 @@
+// Deep adversarial learning for NER (survey Section 4.5; DATNet, Zhou et
+// al. 2019).
+//
+// FGSM-style adversarial training on the input representation: the
+// perturbation eta = epsilon * g / ||g|| maximizes the loss to first order,
+// where g is the loss gradient at the representation matrix. Each training
+// step minimizes loss(x) + adv_weight * loss(x + eta), which the survey
+// reports "improves generalization", particularly on noisy/low-resource
+// inputs (bench_adversarial).
+#ifndef DLNER_APPLIED_ADVERSARIAL_H_
+#define DLNER_APPLIED_ADVERSARIAL_H_
+
+#include <memory>
+
+#include "core/trainer.h"
+
+namespace dlner::applied {
+
+struct AdversarialConfig {
+  Float epsilon = 0.5;     // perturbation radius (L2)
+  Float adv_weight = 1.0;  // weight of the adversarial term
+};
+
+class AdversarialTrainer {
+ public:
+  AdversarialTrainer(core::NerModel* model,
+                     const core::TrainConfig& train_config,
+                     const AdversarialConfig& adv_config);
+
+  /// One shuffled epoch of combined clean + adversarial updates; returns
+  /// the mean combined loss.
+  double RunEpoch(const text::Corpus& train);
+
+  /// Runs `epochs` epochs.
+  void Train(const text::Corpus& train, int epochs);
+
+  /// The FGSM perturbation for one sentence under the current model
+  /// (exposed for tests: it must increase the loss to first order).
+  Tensor ComputePerturbation(const text::Sentence& sentence);
+
+ private:
+  core::NerModel* model_;  // not owned
+  core::TrainConfig train_config_;
+  AdversarialConfig adv_config_;
+  Rng shuffle_rng_;
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+}  // namespace dlner::applied
+
+#endif  // DLNER_APPLIED_ADVERSARIAL_H_

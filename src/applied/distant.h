@@ -1,0 +1,62 @@
+// Reinforcement-learning instance selection for distantly supervised NER
+// (survey Section 4.4; Yang et al. 2018).
+//
+// Distant supervision (gazetteer matching) yields noisy annotations:
+// missing entities and wrong boundaries/types. A stochastic policy scores
+// each noisy sentence from cheap features (the warm-started tagger's loss
+// on the noisy labels and the annotation density) and decides keep/drop;
+// REINFORCE with a moving-average baseline updates the policy using the
+// dev-set F1 of a tagger trained on the kept subset as reward. The learned
+// selector filters sentences whose noisy labels disagree with the tagger —
+// "choosing positive sentences to reduce the effect of noisy annotation".
+#ifndef DLNER_APPLIED_DISTANT_H_
+#define DLNER_APPLIED_DISTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+
+namespace dlner::applied {
+
+struct DistantConfig {
+  int episodes = 6;
+  int warmup_epochs = 3;        // tagger warm-up on all noisy data
+  int episode_epochs = 2;       // tagger epochs per policy episode
+  int final_epochs = 6;         // final tagger on the selected subset
+  double policy_lr = 0.5;
+  uint64_t seed = 29;
+  core::NerConfig model_config;
+  core::TrainConfig train;
+};
+
+struct DistantResult {
+  std::vector<double> episode_rewards;   // dev F1 per episode
+  std::vector<double> keep_fractions;    // fraction of sentences kept
+  double f1_all_data = 0.0;              // baseline: train on all noisy data
+  double f1_selected = 0.0;              // train on the learned selection
+  std::vector<double> policy_weights;
+};
+
+class InstanceSelector {
+ public:
+  explicit InstanceSelector(const DistantConfig& config);
+
+  /// `noisy_train` carries distant-supervision labels; `dev` and `test`
+  /// carry clean labels. `entity_types` is the label inventory.
+  DistantResult Run(const text::Corpus& noisy_train, const text::Corpus& dev,
+                    const text::Corpus& test,
+                    const std::vector<std::string>& entity_types);
+
+  /// Keep-probability of a sentence under the current policy given its
+  /// feature vector.
+  double KeepProbability(const std::vector<double>& features) const;
+
+ private:
+  DistantConfig config_;
+  std::vector<double> policy_;  // logistic-regression weights
+};
+
+}  // namespace dlner::applied
+
+#endif  // DLNER_APPLIED_DISTANT_H_

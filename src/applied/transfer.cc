@@ -1,0 +1,51 @@
+#include "applied/transfer.h"
+
+#include <unordered_map>
+
+namespace dlner::applied {
+
+int CopyMatchingParameters(const core::NerModel& source,
+                           core::NerModel* target) {
+  DLNER_CHECK(target != nullptr);
+  std::unordered_map<std::string, Var> source_by_name;
+  for (const Var& p : source.Parameters()) {
+    if (!p->name.empty()) source_by_name[p->name] = p;
+  }
+  int copied = 0;
+  for (const Var& p : target->Parameters()) {
+    auto it = source_by_name.find(p->name);
+    if (it == source_by_name.end()) continue;
+    if (!it->second->value.SameShape(p->value)) continue;
+    p->value = it->second->value;
+    ++copied;
+  }
+  return copied;
+}
+
+std::unique_ptr<core::NerModel> MakeFineTuneModel(
+    core::NerModel& source, const core::NerConfig& target_config,
+    std::vector<std::string> target_entity_types,
+    const core::Resources& resources) {
+  auto target = std::make_unique<core::NerModel>(
+      target_config, source.word_vocab(), source.char_vocab(),
+      std::move(target_entity_types), resources);
+  CopyMatchingParameters(source, target.get());
+  return target;
+}
+
+void FreezeModules(core::NerModel* model, bool freeze_representation,
+                   bool freeze_encoder) {
+  DLNER_CHECK(model != nullptr);
+  if (freeze_representation) {
+    for (const Var& p : model->representation()->Parameters()) {
+      p->requires_grad = false;
+    }
+  }
+  if (freeze_encoder) {
+    for (const Var& p : model->encoder()->Parameters()) {
+      p->requires_grad = false;
+    }
+  }
+}
+
+}  // namespace dlner::applied

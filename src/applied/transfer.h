@@ -1,0 +1,47 @@
+// Deep transfer learning for NER (survey Section 4.2).
+//
+// Two mechanisms from the surveyed literature:
+//  * Parameter sharing (Yang et al. 2017): copy the representation and/or
+//    encoder parameters of a source-domain model into a target-domain
+//    model. Parameters are matched by name and shape, so layers whose
+//    shapes are vocabulary- or label-set-dependent (word embedding tables,
+//    decoder projections over a different tag set) are skipped
+//    automatically — exactly Yang et al.'s "shared CRF only when label
+//    sets are mappable" rule.
+//  * Fine-tuning (Lee et al. 2017): build the target model around the
+//    source model's vocabularies so *all* parameters carry over, then
+//    continue training on the (small) target corpus, optionally with the
+//    transferred layers frozen.
+#ifndef DLNER_APPLIED_TRANSFER_H_
+#define DLNER_APPLIED_TRANSFER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace dlner::applied {
+
+/// Copies every source parameter whose name and shape match a target
+/// parameter. Returns the number of parameters copied.
+int CopyMatchingParameters(const core::NerModel& source,
+                           core::NerModel* target);
+
+/// Builds a target model that reuses the source model's vocabularies and
+/// starts from its parameter values (full fine-tuning initialization).
+/// Target entity types may differ; label-dependent decoder parameters are
+/// then re-initialized (skipped by the name/shape match).
+std::unique_ptr<core::NerModel> MakeFineTuneModel(
+    core::NerModel& source, const core::NerConfig& target_config,
+    std::vector<std::string> target_entity_types,
+    const core::Resources& resources = {});
+
+/// Freezes (requires_grad = false) the representation and/or encoder so
+/// fine-tuning only updates the remaining layers.
+void FreezeModules(core::NerModel* model, bool freeze_representation,
+                   bool freeze_encoder);
+
+}  // namespace dlner::applied
+
+#endif  // DLNER_APPLIED_TRANSFER_H_

@@ -1,0 +1,204 @@
+#include "core/model.h"
+
+#include "decoders/crf.h"
+#include "decoders/fofe.h"
+#include "decoders/pointer.h"
+#include "decoders/rnn_decoder.h"
+#include "decoders/semicrf.h"
+#include "decoders/softmax.h"
+#include "embeddings/char_features.h"
+#include "encoders/cnn.h"
+#include "encoders/rnn_encoder.h"
+#include "encoders/transformer.h"
+
+namespace dlner::core {
+
+NerModel::NerModel(const NerConfig& config, const text::Corpus& train,
+                   std::vector<std::string> entity_types,
+                   const Resources& resources)
+    : NerModel(config, text::Vocabulary::FromCorpus(train),
+               text::Vocabulary::CharsFromCorpus(train),
+               std::move(entity_types), resources) {}
+
+NerModel::NerModel(const NerConfig& config, text::Vocabulary word_vocab,
+                   text::Vocabulary char_vocab,
+                   std::vector<std::string> entity_types,
+                   const Resources& resources)
+    : config_(config),
+      rng_(config.seed),
+      word_vocab_(std::move(word_vocab)),
+      char_vocab_(std::move(char_vocab)),
+      entity_types_(std::move(entity_types)) {
+  DLNER_CHECK(!entity_types_.empty());
+  Build(resources);
+}
+
+void NerModel::Build(const Resources& resources) {
+  // --- Input representation ---
+  std::vector<std::unique_ptr<embeddings::TokenFeature>> features;
+  if (config_.use_word) {
+    auto word = std::make_unique<embeddings::WordEmbeddingFeature>(
+        &word_vocab_, config_.word_dim, &rng_, config_.word_unk_dropout,
+        "word_emb");
+    if (resources.sgns != nullptr) {
+      DLNER_CHECK_EQ(resources.sgns->dim(), config_.word_dim);
+      resources.sgns->CopyInto(word_vocab_, word->embedding());
+    }
+    if (config_.freeze_word) word->embedding()->set_trainable(false);
+    features.push_back(std::move(word));
+  }
+  if (config_.use_char_cnn) {
+    features.push_back(std::make_unique<embeddings::CharCnnFeature>(
+        &char_vocab_, config_.char_dim, config_.char_filters, &rng_));
+  }
+  if (config_.use_char_rnn) {
+    features.push_back(std::make_unique<embeddings::CharRnnFeature>(
+        &char_vocab_, config_.char_dim, config_.char_hidden, &rng_));
+  }
+  if (config_.use_shape) {
+    features.push_back(std::make_unique<embeddings::WordShapeFeature>());
+  }
+  if (config_.use_gazetteer) {
+    DLNER_CHECK_MSG(resources.gazetteer != nullptr,
+                    "config.use_gazetteer requires Resources::gazetteer");
+    features.push_back(
+        std::make_unique<embeddings::GazetteerFeature>(resources.gazetteer));
+  }
+  if (config_.use_char_lm) {
+    DLNER_CHECK_MSG(resources.char_lm != nullptr,
+                    "config.use_char_lm requires Resources::char_lm");
+    features.push_back(
+        std::make_unique<embeddings::CharLmFeature>(resources.char_lm));
+  }
+  if (config_.use_token_lm) {
+    DLNER_CHECK_MSG(resources.token_lm != nullptr,
+                    "config.use_token_lm requires Resources::token_lm");
+    features.push_back(
+        std::make_unique<embeddings::TokenLmFeature>(resources.token_lm));
+  }
+  DLNER_CHECK_MSG(!features.empty(), "no input features enabled");
+  representation_ = std::make_unique<embeddings::ComposedRepresentation>(
+      std::move(features), config_.input_dropout, &rng_);
+
+  // --- Context encoder ---
+  const int rep_dim = representation_->dim();
+  if (config_.encoder == "mlp") {
+    encoder_ = std::make_unique<encoders::MlpEncoder>(rep_dim,
+                                                      config_.hidden_dim,
+                                                      &rng_);
+  } else if (config_.encoder == "cnn") {
+    encoder_ = std::make_unique<encoders::CnnEncoder>(
+        rep_dim, config_.hidden_dim, config_.cnn_layers, config_.cnn_global,
+        &rng_);
+  } else if (config_.encoder == "idcnn") {
+    encoder_ = std::make_unique<encoders::IdCnnEncoder>(
+        rep_dim, config_.hidden_dim, config_.idcnn_dilations,
+        config_.idcnn_iterations, &rng_);
+  } else if (config_.encoder == "bilstm") {
+    encoder_ = std::make_unique<encoders::RnnEncoder>(
+        "lstm", rep_dim, config_.hidden_dim, config_.encoder_layers,
+        config_.encoder_dropout, &rng_);
+  } else if (config_.encoder == "bigru") {
+    encoder_ = std::make_unique<encoders::RnnEncoder>(
+        "gru", rep_dim, config_.hidden_dim, config_.encoder_layers,
+        config_.encoder_dropout, &rng_);
+  } else if (config_.encoder == "brnn") {
+    auto recursive = std::make_unique<encoders::RecursiveEncoder>(
+        rep_dim, config_.hidden_dim, &rng_);
+    recursive_encoder_ = recursive.get();
+    encoder_ = std::move(recursive);
+  } else if (config_.encoder == "transformer") {
+    encoder_ = std::make_unique<encoders::TransformerEncoder>(
+        rep_dim, config_.hidden_dim, config_.transformer_heads,
+        config_.transformer_ffn, config_.encoder_layers,
+        config_.encoder_dropout, &rng_);
+  } else {
+    DLNER_CHECK_MSG(false, "unknown encoder kind: " << config_.encoder);
+  }
+
+  // --- Tag decoder ---
+  const int enc_dim = encoder_->out_dim();
+  if (config_.decoder == "softmax" || config_.decoder == "crf" ||
+      config_.decoder == "rnn") {
+    tags_ = std::make_unique<text::TagSet>(
+        entity_types_, text::TagSchemeFromString(config_.scheme));
+  }
+  if (config_.decoder == "softmax") {
+    decoder_ = std::make_unique<decoders::SoftmaxDecoder>(enc_dim,
+                                                          tags_.get(), &rng_);
+  } else if (config_.decoder == "crf") {
+    decoder_ = std::make_unique<decoders::CrfDecoder>(
+        enc_dim, tags_.get(), &rng_, config_.constrained_decoding);
+  } else if (config_.decoder == "semicrf") {
+    decoder_ = std::make_unique<decoders::SemiCrfDecoder>(
+        enc_dim, entity_types_, config_.max_segment_len, &rng_);
+  } else if (config_.decoder == "rnn") {
+    decoder_ = std::make_unique<decoders::RnnDecoder>(
+        enc_dim, tags_.get(), config_.tag_embed_dim, config_.decoder_hidden,
+        &rng_);
+  } else if (config_.decoder == "fofe") {
+    decoder_ = std::make_unique<decoders::FofeDecoder>(
+        enc_dim, entity_types_, config_.max_segment_len,
+        config_.fofe_alpha, &rng_);
+  } else if (config_.decoder == "pointer") {
+    decoder_ = std::make_unique<decoders::PointerDecoder>(
+        enc_dim, entity_types_, config_.max_segment_len,
+        config_.decoder_hidden, &rng_);
+  } else {
+    DLNER_CHECK_MSG(false, "unknown decoder kind: " << config_.decoder);
+  }
+}
+
+Var NerModel::Represent(const std::vector<std::string>& tokens,
+                        bool training) {
+  return representation_->Forward(tokens, training);
+}
+
+Var NerModel::Encode(const Var& representation, bool training) {
+  return encoder_->Encode(representation, training);
+}
+
+Var NerModel::EncodeTokens(const Var& representation,
+                           const std::vector<std::string>& tokens,
+                           bool training) {
+  if (recursive_encoder_ != nullptr) {
+    return recursive_encoder_->EncodeTree(
+        representation, encoders::BuildHeuristicTree(tokens));
+  }
+  return encoder_->Encode(representation, training);
+}
+
+Var NerModel::LossFromRepresentation(const Var& representation,
+                                     const text::Sentence& gold,
+                                     bool training) {
+  return decoder_->Loss(EncodeTokens(representation, gold.tokens, training),
+                        gold);
+}
+
+Var NerModel::Loss(const text::Sentence& sentence, bool training) {
+  DLNER_CHECK_GT(sentence.size(), 0);
+  return LossFromRepresentation(Represent(sentence.tokens, training),
+                                sentence, training);
+}
+
+std::vector<text::Span> NerModel::Predict(
+    const std::vector<std::string>& tokens) {
+  DLNER_CHECK(!tokens.empty());
+  Var rep = Represent(tokens, /*training=*/false);
+  return decoder_->Predict(EncodeTokens(rep, tokens, /*training=*/false));
+}
+
+eval::ExactResult NerModel::Evaluate(const text::Corpus& corpus) {
+  eval::ExactMatchEvaluator ev;
+  for (const text::Sentence& s : corpus.sentences) {
+    ev.Add(s.spans, Predict(s.tokens));
+  }
+  return ev.Result();
+}
+
+std::vector<Var> NerModel::Parameters() const {
+  return JoinParameters(
+      {representation_.get(), encoder_.get(), decoder_.get()});
+}
+
+}  // namespace dlner::core

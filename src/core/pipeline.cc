@@ -1,0 +1,118 @@
+#include "core/pipeline.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "tensor/serialize.h"
+
+namespace dlner::core {
+namespace {
+
+constexpr char kMagic[] = "DLNERPIPE1";
+
+}  // namespace
+
+std::unique_ptr<Pipeline> Pipeline::Train(
+    const NerConfig& config, const TrainConfig& train_config,
+    const text::Corpus& train, const text::Corpus* dev,
+    std::vector<std::string> entity_types, const Resources& resources) {
+  auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
+  pipeline->model_ = std::make_unique<NerModel>(
+      config, train, std::move(entity_types), resources);
+  Trainer trainer(pipeline->model_.get(), train_config);
+  pipeline->train_result_ = trainer.Train(train, dev);
+  return pipeline;
+}
+
+std::vector<text::Span> Pipeline::Tag(const std::vector<std::string>& tokens) {
+  return model_->Predict(tokens);
+}
+
+text::Sentence Pipeline::TagText(const std::string& raw) {
+  text::Sentence s;
+  std::istringstream ss(raw);
+  std::string tok;
+  while (ss >> tok) s.tokens.push_back(tok);
+  if (!s.tokens.empty()) s.spans = model_->Predict(s.tokens);
+  return s;
+}
+
+eval::ExactResult Pipeline::Evaluate(const text::Corpus& corpus) {
+  return model_->Evaluate(corpus);
+}
+
+bool Pipeline::Save(const std::string& path) const {
+  const NerConfig& config = model_->config();
+  if (config.use_gazetteer || config.use_char_lm || config.use_token_lm) {
+    return false;  // externally-owned resources cannot be persisted
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os.write(kMagic, sizeof(kMagic));
+  WriteConfig(os, config);
+  // Entity types.
+  const auto& types = model_->entity_types();
+  const uint32_t n_types = static_cast<uint32_t>(types.size());
+  os.write(reinterpret_cast<const char*>(&n_types), sizeof(n_types));
+  for (const std::string& t : types) {
+    const uint32_t len = static_cast<uint32_t>(t.size());
+    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    os.write(t.data(), len);
+  }
+  // Vocabularies (text blocks framed by length).
+  for (const text::Vocabulary* vocab :
+       {&model_->word_vocab(), &model_->char_vocab()}) {
+    std::ostringstream block;
+    vocab->Save(block);
+    const std::string data = block.str();
+    const uint32_t len = static_cast<uint32_t>(data.size());
+    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    os.write(data.data(), len);
+  }
+  SaveParameters(os, model_->Parameters());
+  return static_cast<bool>(os);
+}
+
+std::unique_ptr<Pipeline> Pipeline::Load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return nullptr;
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(magic));
+  if (!is || std::string(magic, sizeof(magic)) !=
+                 std::string(kMagic, sizeof(kMagic))) {
+    return nullptr;
+  }
+  NerConfig config;
+  if (!ReadConfig(is, &config)) return nullptr;
+  uint32_t n_types = 0;
+  is.read(reinterpret_cast<char*>(&n_types), sizeof(n_types));
+  if (!is || n_types == 0 || n_types > 4096) return nullptr;
+  std::vector<std::string> types(n_types);
+  for (uint32_t i = 0; i < n_types; ++i) {
+    uint32_t len = 0;
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!is || len > 4096) return nullptr;
+    types[i].assign(len, '\0');
+    is.read(types[i].data(), len);
+    if (!is) return nullptr;
+  }
+  text::Vocabulary vocabs[2];
+  for (auto& vocab : vocabs) {
+    uint32_t len = 0;
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!is) return nullptr;
+    std::string data(len, '\0');
+    is.read(data.data(), len);
+    if (!is) return nullptr;
+    std::istringstream block(data);
+    if (!text::Vocabulary::Load(block, &vocab)) return nullptr;
+  }
+
+  auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
+  pipeline->model_ = std::make_unique<NerModel>(
+      config, std::move(vocabs[0]), std::move(vocabs[1]), std::move(types));
+  if (!LoadParameters(is, pipeline->model_->Parameters())) return nullptr;
+  return pipeline;
+}
+
+}  // namespace dlner::core

@@ -1,0 +1,56 @@
+// Pipeline: the end-user facade of the toolkit (survey Section 5.2's
+// "easy-to-use toolkit ... with standardized modules"): train a model on an
+// annotated corpus, tag new text, and persist/restore the whole system.
+#ifndef DLNER_CORE_PIPELINE_H_
+#define DLNER_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/trainer.h"
+
+namespace dlner::core {
+
+class Pipeline {
+ public:
+  /// Trains a fresh model. `dev` may be null. Resources are borrowed and
+  /// only needed while the pipeline is alive.
+  static std::unique_ptr<Pipeline> Train(
+      const NerConfig& config, const TrainConfig& train_config,
+      const text::Corpus& train, const text::Corpus* dev,
+      std::vector<std::string> entity_types,
+      const Resources& resources = {});
+
+  /// Tags a pre-tokenized sentence.
+  std::vector<text::Span> Tag(const std::vector<std::string>& tokens);
+
+  /// Whitespace-tokenizes and tags a raw string.
+  text::Sentence TagText(const std::string& raw);
+
+  /// Exact-match evaluation on a corpus.
+  eval::ExactResult Evaluate(const text::Corpus& corpus);
+
+  /// Persists config + entity types + vocabularies + parameters. Only
+  /// self-contained models can be saved: models that reference external
+  /// resources (gazetteer, char/token LM) return false, since the external
+  /// state is not owned by the pipeline.
+  bool Save(const std::string& path) const;
+
+  /// Restores a pipeline saved with Save(). Returns null on failure.
+  static std::unique_ptr<Pipeline> Load(const std::string& path);
+
+  NerModel* model() { return model_.get(); }
+  const TrainResult& train_result() const { return train_result_; }
+
+ private:
+  Pipeline() = default;
+
+  std::unique_ptr<NerModel> model_;
+  TrainResult train_result_;
+};
+
+}  // namespace dlner::core
+
+#endif  // DLNER_CORE_PIPELINE_H_

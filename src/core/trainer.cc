@@ -1,0 +1,73 @@
+#include "core/trainer.h"
+
+#include <cstdio>
+
+namespace dlner::core {
+
+Trainer::Trainer(NerModel* model, const TrainConfig& config)
+    : model_(model), config_(config), shuffle_rng_(config.shuffle_seed) {
+  DLNER_CHECK(model_ != nullptr);
+  optimizer_ =
+      MakeOptimizer(config_.optimizer, model_->Parameters(), config_.lr);
+}
+
+double Trainer::RunEpoch(const text::Corpus& train) {
+  std::vector<int> order(train.sentences.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  shuffle_rng_.Shuffle(&order);
+
+  double total_loss = 0.0;
+  for (int idx : order) {
+    const text::Sentence& sentence = train.sentences[idx];
+    if (sentence.size() == 0) continue;
+    optimizer_->ZeroGrad();
+    Var loss = model_->Loss(sentence, /*training=*/true);
+    Backward(loss);
+    optimizer_->ClipGradNorm(config_.clip_norm);
+    optimizer_->Step();
+    total_loss += loss->value[0];
+  }
+  return train.sentences.empty()
+             ? 0.0
+             : total_loss / static_cast<double>(train.sentences.size());
+}
+
+TrainResult Trainer::Train(const text::Corpus& train,
+                           const text::Corpus* dev) {
+  TrainResult result;
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = RunEpoch(train);
+    result.final_train_loss = stats.train_loss;
+    if (dev != nullptr) {
+      stats.dev_f1 = model_->Evaluate(*dev).micro.f1();
+      if (stats.dev_f1 > result.best_dev_f1) {
+        result.best_dev_f1 = stats.dev_f1;
+        result.best_epoch = epoch;
+        epochs_since_best = 0;
+      } else {
+        ++epochs_since_best;
+      }
+    }
+    if (config_.verbose) {
+      std::fprintf(stderr, "epoch %d: loss=%.4f dev_f1=%.4f\n", epoch,
+                   stats.train_loss, stats.dev_f1);
+    }
+    result.history.push_back(stats);
+    if (dev != nullptr && config_.patience > 0 &&
+        epochs_since_best >= config_.patience) {
+      break;
+    }
+  }
+  return result;
+}
+
+double Trainer::TrainEpochs(const text::Corpus& train, int epochs) {
+  double loss = 0.0;
+  for (int e = 0; e < epochs; ++e) loss = RunEpoch(train);
+  return loss;
+}
+
+}  // namespace dlner::core

@@ -1,0 +1,254 @@
+#include "data/banks.h"
+
+namespace dlner::data::banks {
+namespace {
+
+// Function-local static references to heap objects (never destroyed), per
+// the static-storage-duration rules for non-trivially-destructible types.
+template <typename T>
+const T& Leak(T* t) {
+  return *t;
+}
+
+}  // namespace
+
+const SplitBank& FirstNames() {
+  static const SplitBank& bank = Leak(new SplitBank{
+      {"James",  "Mary",    "Robert", "Patricia", "John",   "Jennifer",
+       "Michael", "Linda",  "David",  "Elizabeth", "William", "Barbara",
+       "Richard", "Susan",  "Joseph", "Jessica",  "Thomas", "Sarah",
+       "Carlos",  "Yuki",   "Wei",    "Priya",    "Ahmed",  "Ingrid",
+       "Pedro",   "Fatima", "Kofi",   "Elena",    "Marco",  "Aisha"},
+      {"Jamet", "Marlia", "Robard", "Patrina", "Johnel", "Jennard",
+       "Michalia", "Linet", "Davika", "Elizara"}});
+  return bank;
+}
+
+const SplitBank& LastNames() {
+  static const SplitBank& bank = Leak(new SplitBank{
+      {"Smith",   "Johnson",  "Williams", "Brown",  "Jones",   "Garcia",
+       "Miller",  "Davis",    "Rodriguez", "Martinez", "Hernandez", "Lopez",
+       "Wilson",  "Anderson", "Thomas",   "Taylor", "Moore",   "Jackson",
+       "Tanaka",  "Chen",     "Kumar",    "Hassan", "Larsson", "Silva",
+       "Mensah",  "Petrov",   "Rossi",    "Okafor", "Nguyen",  "Kowalski"},
+      {"Smithson", "Johnez", "Willmore", "Brownez", "Garlia", "Millson",
+       "Davidez", "Rodson", "Martley", "Petrossi"}});
+  return bank;
+}
+
+const SplitBank& Cities() {
+  static const SplitBank& bank = Leak(new SplitBank{
+      {"London",  "Paris",    "Tokyo",   "Berlin",   "Madrid",  "Rome",
+       "Chicago", "Boston",   "Seattle", "Houston",  "Denver",  "Atlanta",
+       "Mumbai",  "Shanghai", "Cairo",   "Lagos",    "Sydney",  "Toronto",
+       "Moscow",  "Dublin",   "Vienna",  "Oslo",     "Lima",    "Nairobi"},
+      {"Lonris", "Parino", "Tokberg", "Berdrid", "Madrona", "Romago",
+       "Chicville", "Bostova"}});
+  return bank;
+}
+
+const SplitBank& Countries() {
+  static const SplitBank& bank = Leak(new SplitBank{
+      {"France", "Germany", "Japan", "Brazil", "India", "Canada", "Spain",
+       "Italy", "Egypt", "Kenya", "Australia", "Mexico", "Norway", "Chile",
+       "Poland", "Vietnam"},
+      {"Franmark", "Gerbia", "Japandia", "Brasova", "Indara"}});
+  return bank;
+}
+
+const SplitBank& OrgBases() {
+  static const SplitBank& bank = Leak(new SplitBank{
+      {"Acme",     "Global",  "Pioneer", "Summit",  "Vertex",   "Horizon",
+       "Quantum",  "Stellar", "Apex",    "Fusion",  "Northern", "Pacific",
+       "United",   "Crystal", "Titan",   "Evergreen", "Silver", "Atlas",
+       "Beacon",   "Cascade"},
+      {"Glonix", "Pionex", "Sumtex", "Vertano", "Horizet", "Quantia",
+       "Stellon"}});
+  return bank;
+}
+
+const std::vector<std::string>& OrgSuffixes() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "Corp", "Inc", "Group", "Holdings", "Industries", "Labs", "Systems",
+      "Bank", "Airlines", "Motors", "University", "Institute", "Press",
+      "Partners", "Capital"});
+  return v;
+}
+
+const std::vector<std::string>& TeamNames() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "Bulls", "Hawks", "Rovers", "United", "Tigers", "Sharks", "Wolves",
+      "Eagles", "Falcons", "Dragons", "Knights", "Rangers"});
+  return v;
+}
+
+const SplitBank& Nationalities() {
+  static const SplitBank& bank = Leak(new SplitBank{
+      {"French", "German", "Japanese", "Brazilian", "Indian", "Canadian",
+       "Spanish", "Italian", "Egyptian", "Kenyan", "Australian", "Mexican",
+       "Norwegian", "Chilean", "Polish", "Vietnamese"},
+      {"Chilese", "Polandian", "Vietnami", "Kenyese", "Norwegic"}});
+  return bank;
+}
+
+const std::vector<std::string>& Events() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "Olympics", "World Cup", "Grand Prix", "Open", "Marathon",
+      "Championship", "Summit", "Expo", "Festival", "Fair"});
+  return v;
+}
+
+const std::vector<std::string>& Languages() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "English", "Mandarin", "Spanish", "Arabic", "Hindi", "Swahili",
+      "Portuguese", "Russian", "Bengali", "Tagalog"});
+  return v;
+}
+
+const std::vector<std::string>& Facilities() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "Airport", "Stadium", "Bridge", "Tower", "Station", "Harbor",
+      "Museum", "Library", "Hospital", "Arena"});
+  return v;
+}
+
+const std::vector<std::string>& NaturalPlaces() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "River", "Mountains", "Lake", "Valley", "Desert", "Coast", "Gulf",
+      "Peninsula", "Falls", "Plateau"});
+  return v;
+}
+
+const SplitBank& Products() {
+  static const SplitBank& bank = Leak(new SplitBank{
+      {"Photon", "Nimbus", "Falcon", "Orion", "Pulse", "Vortex", "Echo",
+       "Nova", "Spark", "Comet", "Zenith", "Aero"},
+      {"Photix", "Nimbex", "Falconia", "Orionet"}});
+  return bank;
+}
+
+const std::vector<std::string>& WorksOfArt() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "The Silent Sea", "Winter Light", "The Last Garden", "Broken Mirrors",
+      "A Distant Shore", "The Glass City", "Midnight Sonata",
+      "The Paper Crane", "Crimson Fields", "The Long Voyage"});
+  return v;
+}
+
+const std::vector<std::string>& Laws() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "Privacy Act", "Clean Air Act", "Trade Reform Act", "Labor Code",
+      "Banking Charter", "Data Protection Act", "Maritime Treaty",
+      "Education Act"});
+  return v;
+}
+
+const std::vector<std::string>& Months() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "January", "February", "March", "April", "May", "June", "July",
+      "August", "September", "October", "November", "December"});
+  return v;
+}
+
+const std::vector<std::string>& Weekdays() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+      "Sunday"});
+  return v;
+}
+
+const std::vector<std::string>& Ordinals() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "first", "second", "third", "fourth", "fifth", "sixth", "seventh",
+      "eighth", "ninth", "tenth"});
+  return v;
+}
+
+const std::vector<std::string>& NumberWords() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "one", "two", "three", "four", "five", "six", "seven", "eight",
+      "nine", "ten", "twelve", "twenty", "fifty", "hundred"});
+  return v;
+}
+
+const SplitBank& Slang() {
+  static const SplitBank& bank = Leak(new SplitBank{
+      {"lol", "omg", "tbh", "fr", "lowkey", "deadass", "bruh", "yikes",
+       "bet", "vibes", "sus", "based"},
+      {"bussin", "mid", "cheugy", "yeet"}});
+  return bank;
+}
+
+const std::vector<std::string>& GenePrefixes() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "BRCA", "TP", "EGFR", "KRAS", "MYC", "PTEN", "RB", "APC", "VEGF",
+      "TNF", "IL", "CDK"});
+  return v;
+}
+
+const std::vector<std::string>& ChemSyllables() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "metho", "cyclo", "benzo", "fluoro", "chloro", "nitro", "hydro",
+      "oxy", "carbo", "sulfo", "aceto", "pheno"});
+  return v;
+}
+
+const std::vector<std::string>& ChemSuffixes() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "statin", "mycin", "cillin", "azole", "idine", "amine", "oxide",
+      "prazole", "olol", "sartan"});
+  return v;
+}
+
+const std::vector<std::string>& DiseaseHeads() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "syndrome", "disease", "disorder", "carcinoma", "anemia", "fibrosis",
+      "dystrophy", "neuropathy", "dermatitis", "arthritis"});
+  return v;
+}
+
+const std::vector<std::string>& DiseaseModifiers() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "chronic", "acute", "hereditary", "idiopathic", "congenital",
+      "systemic", "juvenile", "progressive"});
+  return v;
+}
+
+const std::vector<std::string>& Verbs() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "announced", "said", "reported", "visited", "acquired", "launched",
+      "defeated", "signed", "criticized", "praised", "opened", "closed",
+      "expanded", "reduced", "approved", "rejected", "joined", "left",
+      "published", "revealed", "confirmed", "denied", "won", "lost",
+      "unveiled", "suspended", "reviewed", "discussed", "planned",
+      "postponed"});
+  return v;
+}
+
+const std::vector<std::string>& Nouns() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "company", "market", "deal", "plan", "report", "meeting", "match",
+      "season", "election", "budget", "project", "investment", "strategy",
+      "agreement", "conference", "factory", "office", "product", "service",
+      "campaign", "policy", "contract", "merger", "profit", "revenue",
+      "lawsuit", "shipment", "survey", "forecast", "statement"});
+  return v;
+}
+
+const std::vector<std::string>& Adjectives() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "new", "major", "recent", "strong", "weak", "local", "global",
+      "annual", "final", "early", "late", "controversial", "ambitious",
+      "unexpected", "record", "quarterly", "strategic", "joint",
+      "historic", "rapid"});
+  return v;
+}
+
+const std::vector<std::string>& Adverbs() {
+  static const std::vector<std::string>& v = Leak(new std::vector<std::string>{
+      "quickly", "recently", "reportedly", "officially", "quietly",
+      "sharply", "steadily", "unexpectedly", "formally", "broadly"});
+  return v;
+}
+
+}  // namespace dlner::data::banks

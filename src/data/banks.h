@@ -1,0 +1,59 @@
+// Word banks backing the synthetic corpus generators.
+//
+// Each entity-bearing bank is split into a "train" portion and a "heldout"
+// portion; generators can draw from the heldout portion with configurable
+// probability to create test-time out-of-vocabulary entities (the phenomenon
+// character-level representations are designed to handle, survey
+// Section 3.2.2).
+#ifndef DLNER_DATA_BANKS_H_
+#define DLNER_DATA_BANKS_H_
+
+#include <string>
+#include <vector>
+
+namespace dlner::data::banks {
+
+/// A bank with a train/heldout split.
+struct SplitBank {
+  std::vector<std::string> train;
+  std::vector<std::string> heldout;
+};
+
+// Entity ingredient banks.
+const SplitBank& FirstNames();
+const SplitBank& LastNames();
+const SplitBank& Cities();
+const SplitBank& Countries();
+const SplitBank& OrgBases();
+const std::vector<std::string>& OrgSuffixes();
+const std::vector<std::string>& TeamNames();
+const SplitBank& Nationalities();
+const std::vector<std::string>& Events();
+const std::vector<std::string>& Languages();
+const std::vector<std::string>& Facilities();
+const std::vector<std::string>& NaturalPlaces();
+const SplitBank& Products();
+const std::vector<std::string>& WorksOfArt();
+const std::vector<std::string>& Laws();
+const std::vector<std::string>& Months();
+const std::vector<std::string>& Weekdays();
+const std::vector<std::string>& Ordinals();
+const std::vector<std::string>& NumberWords();
+const SplitBank& Slang();
+
+// Biomedical morphemes.
+const std::vector<std::string>& GenePrefixes();
+const std::vector<std::string>& ChemSyllables();
+const std::vector<std::string>& ChemSuffixes();
+const std::vector<std::string>& DiseaseHeads();
+const std::vector<std::string>& DiseaseModifiers();
+
+// Plain (non-entity) word classes.
+const std::vector<std::string>& Verbs();
+const std::vector<std::string>& Nouns();
+const std::vector<std::string>& Adjectives();
+const std::vector<std::string>& Adverbs();
+
+}  // namespace dlner::data::banks
+
+#endif  // DLNER_DATA_BANKS_H_

@@ -1,0 +1,165 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "tensor/check.h"
+#include "tensor/rng.h"
+
+namespace dlner::data {
+
+DataSplit SplitCorpus(const text::Corpus& corpus, double train_frac,
+                      double dev_frac, uint64_t seed) {
+  DLNER_CHECK_GT(train_frac, 0.0);
+  DLNER_CHECK_GE(dev_frac, 0.0);
+  DLNER_CHECK_LT(train_frac + dev_frac, 1.0);
+  std::vector<int> order(corpus.sentences.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+
+  const int n = corpus.size();
+  const int n_train = static_cast<int>(n * train_frac);
+  const int n_dev = static_cast<int>(n * dev_frac);
+  DataSplit split;
+  for (int i = 0; i < n; ++i) {
+    const text::Sentence& s = corpus.sentences[order[i]];
+    if (i < n_train) {
+      split.train.sentences.push_back(s);
+    } else if (i < n_train + n_dev) {
+      split.dev.sentences.push_back(s);
+    } else {
+      split.test.sentences.push_back(s);
+    }
+  }
+  return split;
+}
+
+CorpusStats ComputeStats(const text::Corpus& corpus) {
+  CorpusStats stats;
+  stats.sentences = corpus.size();
+  stats.tokens = corpus.TokenCount();
+  stats.entities = corpus.EntityCount();
+  int entity_tokens = 0;
+  int nested_sentences = 0;
+  for (const text::Sentence& s : corpus.sentences) {
+    for (const text::Span& sp : s.spans) {
+      stats.per_type[sp.type]++;
+      entity_tokens += sp.end - sp.start;
+    }
+    if (!text::SpansAreFlat(s.spans)) ++nested_sentences;
+  }
+  stats.num_types = static_cast<int>(stats.per_type.size());
+  if (stats.tokens > 0) {
+    stats.entity_density = static_cast<double>(entity_tokens) / stats.tokens;
+  }
+  if (stats.sentences > 0) {
+    stats.avg_sentence_len =
+        static_cast<double>(stats.tokens) / stats.sentences;
+    stats.nested_fraction =
+        static_cast<double>(nested_sentences) / stats.sentences;
+  }
+  return stats;
+}
+
+double OovEntityTokenRate(const text::Corpus& train,
+                          const text::Corpus& test) {
+  std::unordered_set<std::string> train_tokens;
+  for (const text::Sentence& s : train.sentences) {
+    for (const std::string& t : s.tokens) train_tokens.insert(t);
+  }
+  int entity_tokens = 0;
+  int oov = 0;
+  for (const text::Sentence& s : test.sentences) {
+    for (const text::Span& sp : s.spans) {
+      for (int t = sp.start; t < sp.end; ++t) {
+        ++entity_tokens;
+        if (train_tokens.count(s.tokens[t]) == 0) ++oov;
+      }
+    }
+  }
+  return entity_tokens == 0 ? 0.0
+                            : static_cast<double>(oov) / entity_tokens;
+}
+
+const std::vector<DatasetSpec>& StandardDatasets() {
+  static const auto& specs = *new std::vector<DatasetSpec>{
+      {"conll-like", Genre::kNews, "CoNLL03 (Reuters news, 4 types)"},
+      {"ontonotes-like", Genre::kOnto,
+       "OntoNotes 5.0 (mixed genres, 18 types)"},
+      {"wnut-like", Genre::kSocial,
+       "W-NUT 17 (user-generated text, 6 types)"},
+      {"fine-grained-like", Genre::kFineGrained,
+       "FIGER/BBN (fine-grained hierarchies)"},
+      {"nested-like", Genre::kNested, "GENIA/ACE (nested mentions)"},
+      {"bio-like", Genre::kBio, "BC5CDR/GENETAG (biomedical)"},
+  };
+  return specs;
+}
+
+text::Corpus MakeDataset(const std::string& name, int num_sentences,
+                         uint64_t seed) {
+  for (const DatasetSpec& spec : StandardDatasets()) {
+    if (spec.name == name) {
+      GenOptions opts = DefaultOptionsFor(spec.genre);
+      opts.num_sentences = num_sentences;
+      opts.seed = seed;
+      return GenerateCorpus(spec.genre, opts);
+    }
+  }
+  DLNER_CHECK_MSG(false, "unknown dataset name: " << name);
+}
+
+text::Corpus CorruptLabels(const text::Corpus& corpus, double rate,
+                           const std::vector<std::string>& types,
+                           uint64_t seed) {
+  DLNER_CHECK_GE(rate, 0.0);
+  DLNER_CHECK_LE(rate, 1.0);
+  DLNER_CHECK(!types.empty());
+  Rng rng(seed);
+  text::Corpus out = corpus;
+  for (text::Sentence& s : out.sentences) {
+    std::vector<text::Span> kept;
+    for (text::Span sp : s.spans) {
+      if (!rng.Bernoulli(rate)) {
+        kept.push_back(sp);
+        continue;
+      }
+      const int op = rng.UniformInt(0, 2);
+      if (op == 0) continue;  // drop the annotation entirely
+      if (op == 1) {
+        // Shift a boundary by one token where possible.
+        if (rng.Bernoulli(0.5) && sp.end < s.size()) {
+          ++sp.end;
+        } else if (sp.start > 0) {
+          --sp.start;
+        } else if (sp.end < s.size()) {
+          ++sp.end;
+        }
+        kept.push_back(sp);
+        continue;
+      }
+      // op == 2: flip the type.
+      std::string new_type = types[rng.UniformInt(
+          0, static_cast<int>(types.size()) - 1)];
+      if (new_type == sp.type && types.size() > 1) {
+        new_type = types[(rng.UniformInt(0, static_cast<int>(types.size()) -
+                                                1))];
+      }
+      sp.type = new_type;
+      kept.push_back(sp);
+    }
+    // Boundary shifts can create overlaps; drop any span overlapping an
+    // earlier kept span so downstream flat-tagging stays well-defined.
+    std::sort(kept.begin(), kept.end());
+    std::vector<text::Span> flat;
+    for (const text::Span& sp : kept) {
+      if (flat.empty() || sp.start >= flat.back().end) flat.push_back(sp);
+    }
+    s.spans = std::move(flat);
+  }
+  return out;
+}
+
+}  // namespace dlner::data

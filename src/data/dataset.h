@@ -1,0 +1,72 @@
+// Dataset utilities: splits, statistics, a Table-1-like registry of the
+// standard synthetic corpora, and label corruption for noisy-supervision
+// experiments.
+#ifndef DLNER_DATA_DATASET_H_
+#define DLNER_DATA_DATASET_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "text/types.h"
+
+namespace dlner::data {
+
+/// Train/dev/test partition.
+struct DataSplit {
+  text::Corpus train;
+  text::Corpus dev;
+  text::Corpus test;
+};
+
+/// Shuffles and partitions a corpus. Fractions must satisfy
+/// 0 < train_frac, 0 <= dev_frac, train_frac + dev_frac < 1.
+DataSplit SplitCorpus(const text::Corpus& corpus, double train_frac,
+                      double dev_frac, uint64_t seed);
+
+/// Descriptive statistics (the columns of the survey's Table 1 plus the
+/// density/OOV measures its discussion relies on).
+struct CorpusStats {
+  int sentences = 0;
+  int tokens = 0;
+  int entities = 0;
+  int num_types = 0;
+  double entity_density = 0.0;     // entity tokens / tokens
+  double avg_sentence_len = 0.0;
+  double nested_fraction = 0.0;    // sentences containing overlapping spans
+  std::map<std::string, int> per_type;
+};
+
+CorpusStats ComputeStats(const text::Corpus& corpus);
+
+/// Fraction of test-corpus entity tokens never seen as tokens in train
+/// (the unseen-entity problem of survey Section 5.1).
+double OovEntityTokenRate(const text::Corpus& train, const text::Corpus& test);
+
+/// Registry entry mapping a synthetic corpus family to the Table 1 corpora
+/// it stands in for.
+struct DatasetSpec {
+  std::string name;          // registry key, e.g. "conll-like"
+  Genre genre;
+  std::string stands_in_for; // e.g. "CoNLL03 (Reuters news, 4 types)"
+};
+
+/// All standard dataset specs (one per Table 1 row-group we reproduce).
+const std::vector<DatasetSpec>& StandardDatasets();
+
+/// Generates a registered dataset by name with default genre options.
+text::Corpus MakeDataset(const std::string& name, int num_sentences,
+                         uint64_t seed);
+
+/// Corrupts gold labels: each span is independently dropped, boundary-
+/// shifted, or type-flipped with probability `rate` (uniform over the three
+/// corruptions). Models distant-supervision noise (survey Section 4.4).
+text::Corpus CorruptLabels(const text::Corpus& corpus, double rate,
+                           const std::vector<std::string>& types,
+                           uint64_t seed);
+
+}  // namespace dlner::data
+
+#endif  // DLNER_DATA_DATASET_H_

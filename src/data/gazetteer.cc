@@ -1,0 +1,123 @@
+#include "data/gazetteer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "tensor/check.h"
+#include "tensor/rng.h"
+
+namespace dlner::data {
+
+int Gazetteer::TypeIndex(const std::string& type) {
+  auto it = type_ids_.find(type);
+  if (it != type_ids_.end()) return it->second;
+  const int id = static_cast<int>(types_.size());
+  types_.push_back(type);
+  type_ids_[type] = id;
+  return id;
+}
+
+void Gazetteer::AddEntry(const std::string& type,
+                         const std::vector<std::string>& tokens) {
+  DLNER_CHECK(!tokens.empty());
+  const int type_idx = TypeIndex(type);
+  auto& bucket = by_first_token_[tokens[0]];
+  for (const Entry& e : bucket) {
+    if (e.type_index == type_idx && e.tokens == tokens) return;  // duplicate
+  }
+  bucket.push_back({tokens, type_idx});
+  ++num_entries_;
+}
+
+Gazetteer Gazetteer::FromCorpus(const text::Corpus& corpus, double coverage,
+                                uint64_t seed) {
+  DLNER_CHECK_GE(coverage, 0.0);
+  DLNER_CHECK_LE(coverage, 1.0);
+  Rng rng(seed);
+  Gazetteer gaz;
+  // Collect distinct (surface, type) pairs first so that coverage applies
+  // per distinct entry, not per occurrence.
+  std::set<std::pair<std::string, std::string>> seen;
+  std::vector<std::pair<std::string, std::vector<std::string>>> entries;
+  for (const text::Sentence& s : corpus.sentences) {
+    for (const text::Span& sp : s.spans) {
+      std::string key;
+      std::vector<std::string> toks(s.tokens.begin() + sp.start,
+                                    s.tokens.begin() + sp.end);
+      for (const std::string& t : toks) key += t + "\x1f";
+      if (!seen.insert({key, sp.type}).second) continue;
+      entries.push_back({sp.type, std::move(toks)});
+    }
+  }
+  for (const auto& [type, toks] : entries) {
+    if (coverage >= 1.0 || rng.Bernoulli(coverage)) {
+      gaz.AddEntry(type, toks);
+    }
+  }
+  return gaz;
+}
+
+std::vector<std::vector<double>> Gazetteer::MatchFeatures(
+    const std::vector<std::string>& tokens) const {
+  const int n = static_cast<int>(tokens.size());
+  const int k = static_cast<int>(types_.size());
+  std::vector<std::vector<double>> features(n, std::vector<double>(k, 0.0));
+  for (int start = 0; start < n; ++start) {
+    auto it = by_first_token_.find(tokens[start]);
+    if (it == by_first_token_.end()) continue;
+    for (const Entry& e : it->second) {
+      const int len = static_cast<int>(e.tokens.size());
+      if (start + len > n) continue;
+      bool match = true;
+      for (int j = 1; j < len; ++j) {
+        if (tokens[start + j] != e.tokens[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      for (int t = start; t < start + len; ++t) {
+        features[t][e.type_index] = 1.0;
+      }
+    }
+  }
+  return features;
+}
+
+std::vector<text::Span> Gazetteer::Annotate(
+    const std::vector<std::string>& tokens) const {
+  const int n = static_cast<int>(tokens.size());
+  std::vector<text::Span> spans;
+  int pos = 0;
+  while (pos < n) {
+    auto it = by_first_token_.find(tokens[pos]);
+    int best_len = 0;
+    int best_type = -1;
+    if (it != by_first_token_.end()) {
+      for (const Entry& e : it->second) {
+        const int len = static_cast<int>(e.tokens.size());
+        if (len <= best_len || pos + len > n) continue;
+        bool match = true;
+        for (int j = 1; j < len; ++j) {
+          if (tokens[pos + j] != e.tokens[j]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          best_len = len;
+          best_type = e.type_index;
+        }
+      }
+    }
+    if (best_len > 0) {
+      spans.push_back({pos, pos + best_len, types_[best_type]});
+      pos += best_len;
+    } else {
+      ++pos;
+    }
+  }
+  return spans;
+}
+
+}  // namespace dlner::data

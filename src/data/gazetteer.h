@@ -1,0 +1,66 @@
+// Gazetteers: typed phrase lists used three ways in the survey:
+//  1. as hybrid input features (Section 3.2.3, Huang et al., Collobert et
+//     al.): per-token type-membership indicators;
+//  2. as auxiliary resources for informal text (Section 5.2);
+//  3. as a distant-supervision labeler whose incomplete coverage produces
+//     the noisy annotations studied in Section 4.4.
+#ifndef DLNER_DATA_GAZETTEER_H_
+#define DLNER_DATA_GAZETTEER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/types.h"
+
+namespace dlner::data {
+
+class Gazetteer {
+ public:
+  Gazetteer() = default;
+
+  /// Adds a typed phrase (token sequence). Duplicate entries are ignored.
+  void AddEntry(const std::string& type,
+                const std::vector<std::string>& tokens);
+
+  /// Builds a gazetteer from the distinct gold mention surfaces of a corpus,
+  /// keeping each distinct surface with probability `coverage` (partial
+  /// coverage models real-world incomplete dictionaries).
+  static Gazetteer FromCorpus(const text::Corpus& corpus, double coverage,
+                              uint64_t seed);
+
+  /// Entity types seen so far, in insertion order.
+  const std::vector<std::string>& types() const { return types_; }
+
+  /// Number of stored phrases.
+  int size() const { return num_entries_; }
+
+  /// Per-token membership features: result[t][k] is 1.0 when token t lies
+  /// inside some gazetteer phrase of type k (k indexes types()).
+  std::vector<std::vector<double>> MatchFeatures(
+      const std::vector<std::string>& tokens) const;
+
+  /// Distant supervision: greedy longest-match, left-to-right,
+  /// non-overlapping annotation of a token sequence.
+  std::vector<text::Span> Annotate(
+      const std::vector<std::string>& tokens) const;
+
+ private:
+  struct Entry {
+    std::vector<std::string> tokens;
+    int type_index;
+  };
+
+  int TypeIndex(const std::string& type);
+
+  std::vector<std::string> types_;
+  std::unordered_map<std::string, int> type_ids_;
+  // Phrases bucketed by first token for fast scanning.
+  std::unordered_map<std::string, std::vector<Entry>> by_first_token_;
+  int num_entries_ = 0;
+};
+
+}  // namespace dlner::data
+
+#endif  // DLNER_DATA_GAZETTEER_H_

@@ -1,0 +1,179 @@
+#include "decoders/crf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace dlner::decoders {
+namespace {
+constexpr Float kNegInf = -1e9;
+}  // namespace
+
+CrfDecoder::CrfDecoder(int in_dim, const text::TagSet* tags, Rng* rng,
+                       bool constrained_decoding, const std::string& name)
+    : tags_(tags),
+      constrained_(constrained_decoding),
+      proj_(std::make_unique<Linear>(in_dim, tags->size(), rng,
+                                     name + ".proj")),
+      transitions_(Parameter(
+          UniformMatrix(tags->size(), tags->size(), 0.1, rng),
+          name + ".trans")),
+      start_(Parameter(UniformVector(tags->size(), 0.1, rng),
+                       name + ".start")),
+      end_(Parameter(UniformVector(tags->size(), 0.1, rng), name + ".end")) {
+  DLNER_CHECK(tags_ != nullptr);
+}
+
+std::vector<Var> CrfDecoder::Parameters() const {
+  std::vector<Var> all = proj_->Parameters();
+  all.push_back(transitions_);
+  all.push_back(start_);
+  all.push_back(end_);
+  return all;
+}
+
+Var CrfDecoder::LogPartition(const Var& emissions) const {
+  const int t_len = emissions->value.rows();
+  DLNER_CHECK_EQ(emissions->value.cols(), tags_->size());
+  Var alpha = Add(Row(emissions, 0), start_);  // [K]
+  for (int t = 1; t < t_len; ++t) {
+    // alpha'[j] = logsumexp_i(alpha[i] + trans[i][j]) + emit[t][j]
+    Var broadcast = AddColBroadcast(transitions_, alpha);  // [K, K]
+    alpha = Add(LogSumExpOverRows(broadcast), Row(emissions, t));
+  }
+  return LogSumExp(Add(alpha, end_));
+}
+
+Var CrfDecoder::PathScore(const Var& emissions,
+                          const std::vector<int>& path) const {
+  const int t_len = emissions->value.rows();
+  DLNER_CHECK_EQ(static_cast<int>(path.size()), t_len);
+  std::vector<Var> terms;
+  terms.reserve(2 * t_len + 1);
+  terms.push_back(Pick(start_, path[0]));
+  for (int t = 0; t < t_len; ++t) {
+    terms.push_back(PickAt(emissions, t, path[t]));
+    if (t > 0) terms.push_back(PickAt(transitions_, path[t - 1], path[t]));
+  }
+  terms.push_back(Pick(end_, path[t_len - 1]));
+  return Sum(ConcatVecs(terms));
+}
+
+Var CrfDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
+  const int t_len = encodings->value.rows();
+  DLNER_CHECK_EQ(t_len, gold.size());
+  const std::vector<int> gold_ids = tags_->SpansToTagIds(gold.spans, t_len);
+  Var emissions = Emissions(encodings);
+  Var nll = Sub(LogPartition(emissions), PathScore(emissions, gold_ids));
+  return Scale(nll, 1.0 / t_len);
+}
+
+std::vector<int> CrfDecoder::ViterbiPath(const Tensor& emissions) const {
+  const int t_len = emissions.rows();
+  const int k = tags_->size();
+  DLNER_CHECK_EQ(emissions.cols(), k);
+
+  auto start_score = [&](int j) {
+    if (constrained_ && !tags_->IsValidStart(j)) return kNegInf;
+    return start_->value[j];
+  };
+  auto trans_score = [&](int i, int j) {
+    if (constrained_ && !tags_->IsValidTransition(i, j)) return kNegInf;
+    return transitions_->value.at(i, j);
+  };
+  auto end_score = [&](int j) {
+    if (constrained_ && !tags_->IsValidEnd(j)) return kNegInf;
+    return end_->value[j];
+  };
+
+  std::vector<std::vector<Float>> dp(t_len, std::vector<Float>(k));
+  std::vector<std::vector<int>> parent(t_len, std::vector<int>(k, -1));
+  for (int j = 0; j < k; ++j) dp[0][j] = start_score(j) + emissions.at(0, j);
+  for (int t = 1; t < t_len; ++t) {
+    for (int j = 0; j < k; ++j) {
+      Float best = kNegInf * 2;
+      int arg = 0;
+      for (int i = 0; i < k; ++i) {
+        const Float s = dp[t - 1][i] + trans_score(i, j);
+        if (s > best) {
+          best = s;
+          arg = i;
+        }
+      }
+      dp[t][j] = best + emissions.at(t, j);
+      parent[t][j] = arg;
+    }
+  }
+  int best_tag = 0;
+  Float best = kNegInf * 2;
+  for (int j = 0; j < k; ++j) {
+    const Float s = dp[t_len - 1][j] + end_score(j);
+    if (s > best) {
+      best = s;
+      best_tag = j;
+    }
+  }
+  std::vector<int> path(t_len);
+  path[t_len - 1] = best_tag;
+  for (int t = t_len - 1; t > 0; --t) path[t - 1] = parent[t][path[t]];
+  return path;
+}
+
+Tensor CrfDecoder::Marginals(const Tensor& emissions) const {
+  const int t_len = emissions.rows();
+  const int k = tags_->size();
+  DLNER_CHECK_EQ(emissions.cols(), k);
+
+  auto log_sum_exp = [](const std::vector<Float>& v) {
+    Float mx = v[0];
+    for (Float x : v) mx = std::max(mx, x);
+    Float s = 0.0;
+    for (Float x : v) s += std::exp(x - mx);
+    return mx + std::log(s);
+  };
+
+  // Forward: alpha[t][j] = log sum over prefixes ending in tag j at t.
+  std::vector<std::vector<Float>> alpha(t_len, std::vector<Float>(k));
+  for (int j = 0; j < k; ++j) {
+    alpha[0][j] = start_->value[j] + emissions.at(0, j);
+  }
+  std::vector<Float> scratch(k);
+  for (int t = 1; t < t_len; ++t) {
+    for (int j = 0; j < k; ++j) {
+      for (int i = 0; i < k; ++i) {
+        scratch[i] = alpha[t - 1][i] + transitions_->value.at(i, j);
+      }
+      alpha[t][j] = log_sum_exp(scratch) + emissions.at(t, j);
+    }
+  }
+  // Backward: beta[t][i] = log sum over suffixes starting after tag i at t.
+  std::vector<std::vector<Float>> beta(t_len, std::vector<Float>(k));
+  for (int i = 0; i < k; ++i) beta[t_len - 1][i] = end_->value[i];
+  for (int t = t_len - 2; t >= 0; --t) {
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < k; ++j) {
+        scratch[j] = transitions_->value.at(i, j) + emissions.at(t + 1, j) +
+                     beta[t + 1][j];
+      }
+      beta[t][i] = log_sum_exp(scratch);
+    }
+  }
+  for (int j = 0; j < k; ++j) scratch[j] = alpha[t_len - 1][j] + end_->value[j];
+  const Float log_z = log_sum_exp(scratch);
+
+  Tensor marginals({t_len, k});
+  for (int t = 0; t < t_len; ++t) {
+    for (int j = 0; j < k; ++j) {
+      marginals.at(t, j) = std::exp(alpha[t][j] + beta[t][j] - log_z);
+    }
+  }
+  return marginals;
+}
+
+std::vector<text::Span> CrfDecoder::Predict(const Var& encodings) {
+  Var emissions = Emissions(encodings);
+  return tags_->TagIdsToSpans(ViterbiPath(emissions->value));
+}
+
+}  // namespace dlner::decoders

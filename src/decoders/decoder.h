@@ -1,0 +1,28 @@
+// Tag decoder interface (survey Section 3.4, Fig. 12): the final stage of
+// the taxonomy, mapping context-dependent token representations [T, d] to a
+// loss at training time and to entity spans at inference time.
+//
+// Decoders return *spans* from Predict rather than raw tags so that
+// tag-sequence decoders (softmax, CRF, RNN) and segment decoders (semi-CRF,
+// pointer network) share one interface and one span-level evaluation path.
+#ifndef DLNER_DECODERS_DECODER_H_
+#define DLNER_DECODERS_DECODER_H_
+
+#include "tensor/nn.h"
+#include "text/types.h"
+
+namespace dlner::decoders {
+
+class TagDecoder : public Module {
+ public:
+  /// Scalar training loss for one sentence. `encodings` is [T, d] with T
+  /// equal to gold.size(); gold spans must be flat.
+  virtual Var Loss(const Var& encodings, const text::Sentence& gold) = 0;
+
+  /// Decodes entity spans from [T, d] encodings.
+  virtual std::vector<text::Span> Predict(const Var& encodings) = 0;
+};
+
+}  // namespace dlner::decoders
+
+#endif  // DLNER_DECODERS_DECODER_H_

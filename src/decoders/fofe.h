@@ -1,0 +1,55 @@
+// FOFE local-detection decoder (survey Section 3.2.3/3.4.1; Xu et al. 2017
+// [115]): named entity recognition as *span classification* rather than
+// sequence labeling. Every text fragment up to a maximum length is encoded
+// with fixed-size ordinally-forgetting encoding (FOFE) — the recency-
+// weighted sum z = sum_i alpha^(n-i) x_i, which encodes a variable-length
+// sequence into a fixed-size vector losslessly for alpha in (0, 0.5] — and
+// classified into an entity type or NONE. Fragment features combine the
+// fragment's own bidirectional FOFE with FOFE encodings of its left and
+// right contexts. Inference scores all fragments and greedily keeps the
+// highest-probability non-overlapping non-NONE spans.
+#ifndef DLNER_DECODERS_FOFE_H_
+#define DLNER_DECODERS_FOFE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decoders/decoder.h"
+
+namespace dlner::decoders {
+
+class FofeDecoder : public TagDecoder {
+ public:
+  FofeDecoder(int in_dim, std::vector<std::string> entity_types,
+              int max_span_len, Float alpha, Rng* rng,
+              const std::string& name = "fofe_dec");
+
+  Var Loss(const Var& encodings, const text::Sentence& gold) override;
+  std::vector<text::Span> Predict(const Var& encodings) override;
+  std::vector<Var> Parameters() const override;
+
+  /// FOFE encoding of rows [start, end) of `m` (forward order when
+  /// `reverse` is false): sum_k alpha^(len-1-k) * m[start+k]. Empty ranges
+  /// yield a zero vector. Exposed for tests.
+  Var Encode(const Var& m, int start, int end, bool reverse) const;
+
+  const std::vector<std::string>& entity_types() const {
+    return entity_types_;
+  }
+  int max_span_len() const { return max_len_; }
+
+ private:
+  /// Classifier logits for fragment [i, j).
+  Var FragmentLogits(const Var& encodings, int i, int j) const;
+
+  std::vector<std::string> entity_types_;
+  int max_len_;
+  Float alpha_;
+  std::unique_ptr<Linear> hidden_;  // 4*in_dim -> hidden
+  std::unique_ptr<Linear> out_;     // hidden -> Y+1 (0 = NONE)
+};
+
+}  // namespace dlner::decoders
+
+#endif  // DLNER_DECODERS_FOFE_H_

@@ -1,0 +1,53 @@
+// Pointer-network segment decoder (survey Section 3.4.4, Fig. 12d; Zhai et
+// al.): alternates two decisions — point at the end position of the next
+// segment starting at the current cursor (softmax over candidate positions
+// via additive attention), then classify the segment's label (entity types
+// + O, with O segments fixed to length 1). The cursor jumps past the
+// segment and the process repeats until the sentence is consumed.
+#ifndef DLNER_DECODERS_POINTER_H_
+#define DLNER_DECODERS_POINTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decoders/decoder.h"
+#include "tensor/rnn.h"
+
+namespace dlner::decoders {
+
+class PointerDecoder : public TagDecoder {
+ public:
+  PointerDecoder(int in_dim, std::vector<std::string> entity_types,
+                 int max_segment_len, int hidden_dim, Rng* rng,
+                 const std::string& name = "pointer_dec");
+
+  Var Loss(const Var& encodings, const text::Sentence& gold) override;
+  std::vector<text::Span> Predict(const Var& encodings) override;
+  std::vector<Var> Parameters() const override;
+
+  const std::vector<std::string>& entity_types() const {
+    return entity_types_;
+  }
+
+ private:
+  /// Pointer scores over candidate end positions [start, limit) given the
+  /// decoder hidden state; returns logits [limit - start].
+  Var EndLogits(const Var& encodings, const Var& hidden, int start,
+                int limit) const;
+  /// Label logits for segment [start, end) given the decoder hidden state.
+  Var LabelLogits(const Var& encodings, const Var& hidden, int start,
+                  int end) const;
+
+  std::vector<std::string> entity_types_;
+  int max_len_;
+  std::unique_ptr<LstmCell> cell_;      // input: encoder row at the cursor
+  std::unique_ptr<Linear> ptr_enc_;     // additive attention: encoder side
+  std::unique_ptr<Linear> ptr_dec_;     // additive attention: decoder side
+  Var ptr_v_;                           // attention scorer vector
+  std::unique_ptr<Linear> label_out_;   // [seg_rep + hidden] -> Y
+};
+
+}  // namespace dlner::decoders
+
+#endif  // DLNER_DECODERS_POINTER_H_

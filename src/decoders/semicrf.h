@@ -1,0 +1,66 @@
+// Semi-Markov CRF tag decoder (survey Section 3.4.2; Zhuo et al., Ye &
+// Ling): models labeled *segments* directly instead of per-token tags, so
+// segment-level features (here: summed emissions plus a learned
+// length-by-label bias) inform both scoring and transition structure.
+//
+// Labels are the entity types plus O; O segments are restricted to length 1
+// so entity boundaries stay sharp. Training uses a differentiable segmental
+// forward algorithm; inference is segmental Viterbi.
+#ifndef DLNER_DECODERS_SEMICRF_H_
+#define DLNER_DECODERS_SEMICRF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decoders/decoder.h"
+
+namespace dlner::decoders {
+
+class SemiCrfDecoder : public TagDecoder {
+ public:
+  SemiCrfDecoder(int in_dim, std::vector<std::string> entity_types,
+                 int max_segment_len, Rng* rng,
+                 const std::string& name = "semicrf_dec");
+
+  Var Loss(const Var& encodings, const text::Sentence& gold) override;
+  std::vector<text::Span> Predict(const Var& encodings) override;
+  std::vector<Var> Parameters() const override;
+
+  /// Log partition over all segmentations (exposed for brute-force tests).
+  Var LogPartition(const Var& encodings) const;
+  /// Unnormalized score of a specific segmentation. Segments must tile
+  /// [0, T) and use label indexes (0 = O).
+  struct Segment {
+    int start;
+    int end;
+    int label;  // 0 = O, 1.. = entity_types()[label-1]
+  };
+  Var SegmentationScore(const Var& encodings,
+                        const std::vector<Segment>& segments) const;
+
+  /// Gold segmentation of a sentence (spans + length-1 O segments).
+  std::vector<Segment> GoldSegmentation(const text::Sentence& gold) const;
+
+  const std::vector<std::string>& entity_types() const {
+    return entity_types_;
+  }
+  int num_labels() const { return static_cast<int>(entity_types_.size()) + 1; }
+  int max_segment_len() const { return max_len_; }
+
+ private:
+  // Differentiable segment score vector [Y] for tokens [i, j).
+  Var SegScore(const Var& emissions, int i, int j) const;
+
+  std::vector<std::string> entity_types_;
+  int max_len_;
+  std::unique_ptr<Linear> proj_;  // in_dim -> Y per-token emissions
+  Var length_bias_;               // [max_len, Y]
+  Var transitions_;               // [Y, Y]
+  Var start_;                     // [Y]
+  Var end_;                       // [Y]
+};
+
+}  // namespace dlner::decoders
+
+#endif  // DLNER_DECODERS_SEMICRF_H_

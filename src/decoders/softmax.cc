@@ -1,0 +1,42 @@
+#include "decoders/softmax.h"
+
+#include "tensor/ops.h"
+
+namespace dlner::decoders {
+
+SoftmaxDecoder::SoftmaxDecoder(int in_dim, const text::TagSet* tags, Rng* rng,
+                               const std::string& name)
+    : tags_(tags),
+      proj_(std::make_unique<Linear>(in_dim, tags->size(), rng, name)) {
+  DLNER_CHECK(tags_ != nullptr);
+}
+
+Var SoftmaxDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
+  const int t_len = encodings->value.rows();
+  DLNER_CHECK_EQ(t_len, gold.size());
+  const std::vector<int> gold_ids = tags_->SpansToTagIds(gold.spans, t_len);
+  Var logits = proj_->Apply(encodings);  // [T, K]
+  std::vector<Var> terms;
+  terms.reserve(t_len);
+  for (int t = 0; t < t_len; ++t) {
+    terms.push_back(CrossEntropyWithLogits(Row(logits, t), gold_ids[t]));
+  }
+  return Scale(Sum(ConcatVecs(terms)), 1.0 / t_len);
+}
+
+std::vector<text::Span> SoftmaxDecoder::Predict(const Var& encodings) {
+  Var logits = proj_->Apply(encodings);
+  const int t_len = logits->value.rows();
+  const int k = logits->value.cols();
+  std::vector<int> best(t_len);
+  for (int t = 0; t < t_len; ++t) {
+    int arg = 0;
+    for (int j = 1; j < k; ++j) {
+      if (logits->value.at(t, j) > logits->value.at(t, arg)) arg = j;
+    }
+    best[t] = arg;
+  }
+  return tags_->TagIdsToSpans(best);
+}
+
+}  // namespace dlner::decoders

@@ -1,0 +1,131 @@
+#include "embeddings/features.h"
+
+#include <cctype>
+
+namespace dlner::embeddings {
+
+// ---------------------------------------------------------------------------
+// WordEmbeddingFeature.
+// ---------------------------------------------------------------------------
+
+WordEmbeddingFeature::WordEmbeddingFeature(const text::Vocabulary* vocab,
+                                           int dim, Rng* rng,
+                                           Float unk_dropout,
+                                           const std::string& name)
+    : vocab_(vocab),
+      rng_(rng),
+      unk_dropout_(unk_dropout),
+      embedding_(std::make_unique<Embedding>(vocab->size(), dim, rng, name)) {
+  DLNER_CHECK(vocab_ != nullptr);
+  DLNER_CHECK_GE(unk_dropout_, 0.0);
+  DLNER_CHECK_LT(unk_dropout_, 1.0);
+}
+
+Var WordEmbeddingFeature::Forward(const std::vector<std::string>& tokens,
+                                  bool training) {
+  std::vector<int> ids = vocab_->Encode(tokens);
+  if (training && unk_dropout_ > 0.0) {
+    for (int& id : ids) {
+      if (rng_->Bernoulli(unk_dropout_)) id = text::Vocabulary::kUnkId;
+    }
+  }
+  return embedding_->Lookup(ids);
+}
+
+// ---------------------------------------------------------------------------
+// WordShapeFeature.
+// ---------------------------------------------------------------------------
+
+std::vector<Float> WordShapeFeature::ShapeOf(const std::string& word) {
+  int upper = 0, lower = 0, digit = 0, punct = 0;
+  for (char ch : word) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isupper(c)) {
+      ++upper;
+    } else if (std::islower(c)) {
+      ++lower;
+    } else if (std::isdigit(c)) {
+      ++digit;
+    } else {
+      ++punct;
+    }
+  }
+  const int len = static_cast<int>(word.size());
+  const bool init_cap =
+      !word.empty() && std::isupper(static_cast<unsigned char>(word[0]));
+  std::vector<Float> f(kDim, 0.0);
+  f[0] = (len > 0 && upper == len) ? 1.0 : 0.0;        // ALLCAPS
+  f[1] = init_cap ? 1.0 : 0.0;                         // Initial cap
+  f[2] = (upper > 0 && !init_cap) ? 1.0 : 0.0;         // has inner cap
+  f[3] = (len > 0 && lower == len) ? 1.0 : 0.0;        // all lower
+  f[4] = digit > 0 ? 1.0 : 0.0;                        // has digit
+  f[5] = (len > 0 && digit == len) ? 1.0 : 0.0;        // all digit
+  f[6] = punct > 0 ? 1.0 : 0.0;                        // has punct/symbol
+  f[7] = std::min(len, 10) / 10.0;                     // scaled length
+  return f;
+}
+
+Var WordShapeFeature::Forward(const std::vector<std::string>& tokens,
+                              bool /*training*/) {
+  Tensor out({static_cast<int>(tokens.size()), kDim});
+  for (int t = 0; t < static_cast<int>(tokens.size()); ++t) {
+    const std::vector<Float> f = ShapeOf(tokens[t]);
+    for (int j = 0; j < kDim; ++j) out.at(t, j) = f[j];
+  }
+  return Constant(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// GazetteerFeature.
+// ---------------------------------------------------------------------------
+
+GazetteerFeature::GazetteerFeature(const data::Gazetteer* gazetteer)
+    : gazetteer_(gazetteer) {
+  DLNER_CHECK(gazetteer_ != nullptr);
+}
+
+int GazetteerFeature::dim() const {
+  return static_cast<int>(gazetteer_->types().size());
+}
+
+Var GazetteerFeature::Forward(const std::vector<std::string>& tokens,
+                              bool /*training*/) {
+  const auto feats = gazetteer_->MatchFeatures(tokens);
+  Tensor out({static_cast<int>(tokens.size()), dim()});
+  for (int t = 0; t < static_cast<int>(tokens.size()); ++t) {
+    for (int j = 0; j < dim(); ++j) out.at(t, j) = feats[t][j];
+  }
+  return Constant(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// ComposedRepresentation.
+// ---------------------------------------------------------------------------
+
+ComposedRepresentation::ComposedRepresentation(
+    std::vector<std::unique_ptr<TokenFeature>> features, Float dropout,
+    Rng* rng)
+    : features_(std::move(features)), dropout_(dropout), rng_(rng), dim_(0) {
+  DLNER_CHECK(!features_.empty());
+  for (const auto& f : features_) dim_ += f->dim();
+}
+
+Var ComposedRepresentation::Forward(const std::vector<std::string>& tokens,
+                                    bool training) {
+  DLNER_CHECK(!tokens.empty());
+  std::vector<Var> parts;
+  parts.reserve(features_.size());
+  for (const auto& f : features_) parts.push_back(f->Forward(tokens, training));
+  Var out = parts.size() == 1 ? parts[0] : ConcatCols(parts);
+  return Dropout(out, dropout_, rng_, training);
+}
+
+std::vector<Var> ComposedRepresentation::Parameters() const {
+  std::vector<Var> all;
+  for (const auto& f : features_) {
+    for (const Var& p : f->Parameters()) all.push_back(p);
+  }
+  return all;
+}
+
+}  // namespace dlner::embeddings

@@ -1,0 +1,148 @@
+// Neural language models for contextualized embeddings (survey Sections
+// 3.3.4 and 3.2.3).
+//
+// CharLm reproduces the contextual string embeddings of Akbik et al.
+// (Fig. 4): independent forward and backward character-level LSTM language
+// models trained on unlabeled text; a word's embedding concatenates the
+// forward hidden state at its last character with the backward hidden state
+// at its first character. Tokenization-independent and vocabulary-free.
+//
+// TokenLm is an ELMo-style token-level bidirectional LM (Peters et al.,
+// TagLM): forward and backward word-level LSTM LMs whose hidden states are
+// concatenated per token.
+//
+// Both are pre-trained once and used frozen, matching the survey's
+// "pre-trained language model embeddings" usage pattern.
+#ifndef DLNER_EMBEDDINGS_LM_H_
+#define DLNER_EMBEDDINGS_LM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embeddings/features.h"
+#include "tensor/optim.h"
+#include "tensor/rnn.h"
+#include "text/vocab.h"
+
+namespace dlner::embeddings {
+
+/// Character-level bidirectional language model (contextual string
+/// embeddings).
+class CharLm : public Module {
+ public:
+  struct Config {
+    int char_dim = 16;
+    int hidden_dim = 24;
+    int epochs = 2;
+    double lr = 0.005;   // Adam
+    uint64_t seed = 1;
+    int max_chars = 160;  // training sentences truncated to this many chars
+  };
+
+  explicit CharLm(const Config& config);
+
+  /// Trains both directions on unlabeled sentences; returns the final
+  /// average per-character negative log likelihood.
+  Float Train(const std::vector<std::vector<std::string>>& sentences);
+
+  /// Average per-character NLL on held-out sentences (perplexity probe).
+  Float Evaluate(const std::vector<std::vector<std::string>>& sentences);
+
+  /// Contextual embeddings [T, 2*hidden] for a tokenized sentence.
+  /// Value-only (the LM is frozen at extraction time).
+  Tensor Extract(const std::vector<std::string>& tokens) const;
+
+  int dim() const { return 2 * config_.hidden_dim; }
+  std::vector<Var> Parameters() const override;
+
+ private:
+  // Builds the char-id sequence of a sentence joined with spaces, plus the
+  // [start, end] char index of each token.
+  std::vector<int> CharIds(const std::vector<std::string>& tokens,
+                           std::vector<std::pair<int, int>>* word_bounds) const;
+  Float SentenceLoss(const std::vector<int>& ids, bool backward_dir,
+                     Var* loss) const;
+
+  Config config_;
+  Rng rng_;
+  text::Vocabulary char_vocab_;  // fixed printable-ASCII inventory
+  std::unique_ptr<Embedding> char_embedding_;
+  std::unique_ptr<LstmCell> fwd_;
+  std::unique_ptr<LstmCell> bwd_;
+  std::unique_ptr<Linear> fwd_out_;
+  std::unique_ptr<Linear> bwd_out_;
+};
+
+/// Token-level bidirectional language model (TagLM/ELMo-style embeddings).
+class TokenLm : public Module {
+ public:
+  struct Config {
+    int word_dim = 24;
+    int hidden_dim = 24;
+    int epochs = 2;
+    double lr = 0.005;  // Adam
+    int min_count = 2;
+    uint64_t seed = 1;
+  };
+
+  explicit TokenLm(const Config& config);
+
+  /// Builds the vocabulary and trains both directions; returns the final
+  /// average per-token NLL.
+  Float Train(const std::vector<std::vector<std::string>>& sentences);
+
+  /// Contextual embeddings [T, 2*hidden]; value-only.
+  Tensor Extract(const std::vector<std::string>& tokens) const;
+
+  int dim() const { return 2 * config_.hidden_dim; }
+  std::vector<Var> Parameters() const override;
+  const text::Vocabulary& vocab() const { return vocab_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  text::Vocabulary vocab_;
+  std::unique_ptr<Embedding> word_embedding_;
+  std::unique_ptr<LstmCell> fwd_;
+  std::unique_ptr<LstmCell> bwd_;
+  std::unique_ptr<Linear> fwd_out_;
+  std::unique_ptr<Linear> bwd_out_;
+  bool trained_ = false;
+};
+
+/// Frozen contextual-string-embedding feature backed by a trained CharLm.
+class CharLmFeature : public TokenFeature {
+ public:
+  explicit CharLmFeature(const CharLm* lm) : lm_(lm) {
+    DLNER_CHECK(lm_ != nullptr);
+  }
+  Var Forward(const std::vector<std::string>& tokens, bool) override {
+    return Constant(lm_->Extract(tokens));
+  }
+  int dim() const override { return lm_->dim(); }
+  std::vector<Var> Parameters() const override { return {}; }
+
+ private:
+  const CharLm* lm_;  // not owned
+};
+
+/// Frozen token-LM embedding feature backed by a trained TokenLm.
+class TokenLmFeature : public TokenFeature {
+ public:
+  explicit TokenLmFeature(const TokenLm* lm) : lm_(lm) {
+    DLNER_CHECK(lm_ != nullptr);
+  }
+  Var Forward(const std::vector<std::string>& tokens, bool) override {
+    return Constant(lm_->Extract(tokens));
+  }
+  int dim() const override { return lm_->dim(); }
+  std::vector<Var> Parameters() const override { return {}; }
+
+ private:
+  const TokenLm* lm_;  // not owned
+};
+
+}  // namespace dlner::embeddings
+
+#endif  // DLNER_EMBEDDINGS_LM_H_

@@ -1,0 +1,39 @@
+// Context encoder interface (survey Section 3.3, the middle stage of the
+// Fig. 2 taxonomy): consumes the [T, d_in] input representation and produces
+// context-dependent token representations [T, d_out].
+#ifndef DLNER_ENCODERS_ENCODER_H_
+#define DLNER_ENCODERS_ENCODER_H_
+
+#include <memory>
+#include <string>
+
+#include "tensor/nn.h"
+
+namespace dlner::encoders {
+
+class ContextEncoder : public Module {
+ public:
+  /// Input [T, in_dim] -> output [T, out_dim].
+  virtual Var Encode(const Var& input, bool training) = 0;
+  virtual int out_dim() const = 0;
+};
+
+/// No-context baseline: a per-token MLP (tanh). Equivalent to tagging each
+/// token from its own representation only — the degenerate taxonomy cell
+/// used by FOFE-style local detection models.
+class MlpEncoder : public ContextEncoder {
+ public:
+  MlpEncoder(int in_dim, int hidden_dim, Rng* rng,
+             const std::string& name = "mlp_enc");
+
+  Var Encode(const Var& input, bool training) override;
+  int out_dim() const override { return hidden_->out_dim(); }
+  std::vector<Var> Parameters() const override { return hidden_->Parameters(); }
+
+ private:
+  std::unique_ptr<Linear> hidden_;
+};
+
+}  // namespace dlner::encoders
+
+#endif  // DLNER_ENCODERS_ENCODER_H_

@@ -1,0 +1,39 @@
+#include "encoders/rnn_encoder.h"
+
+#include "tensor/ops.h"
+
+namespace dlner::encoders {
+
+RnnEncoder::RnnEncoder(const std::string& kind, int in_dim, int hidden_dim,
+                       int num_layers, Float dropout, Rng* rng,
+                       const std::string& name)
+    : hidden_dim_(hidden_dim), dropout_(dropout), rng_(rng) {
+  DLNER_CHECK_GE(num_layers, 1);
+  int d = in_dim;
+  for (int l = 0; l < num_layers; ++l) {
+    layers_.push_back(std::make_unique<BiRnn>(
+        kind, d, hidden_dim, rng, name + ".layer" + std::to_string(l)));
+    d = 2 * hidden_dim;
+  }
+}
+
+Var RnnEncoder::Encode(const Var& input, bool training) {
+  Var h = input;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l]->Apply(h);
+    if (l + 1 < layers_.size()) {
+      h = Dropout(h, dropout_, rng_, training);
+    }
+  }
+  return h;
+}
+
+std::vector<Var> RnnEncoder::Parameters() const {
+  std::vector<Var> all;
+  for (const auto& l : layers_) {
+    for (const Var& p : l->Parameters()) all.push_back(p);
+  }
+  return all;
+}
+
+}  // namespace dlner::encoders

@@ -1,0 +1,59 @@
+// Lightweight runtime assertion macros used across the library.
+//
+// DLNER_CHECK aborts with a diagnostic on contract violations (programmer
+// errors such as shape mismatches). These checks stay enabled in release
+// builds: the library is a research toolkit where silent shape corruption is
+// far more costly than the branch.
+#ifndef DLNER_TENSOR_CHECK_H_
+#define DLNER_TENSOR_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dlner {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "DLNER_CHECK failed at %s:%d: %s %s\n", file, line,
+               expr, message.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dlner
+
+#define DLNER_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::dlner::internal::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+    }                                                                   \
+  } while (0)
+
+#define DLNER_CHECK_MSG(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream oss_;                                          \
+      oss_ << msg;                                                      \
+      ::dlner::internal::CheckFailed(__FILE__, __LINE__, #cond,         \
+                                     oss_.str());                       \
+    }                                                                   \
+  } while (0)
+
+#define DLNER_CHECK_EQ(a, b) \
+  DLNER_CHECK_MSG((a) == (b), "(" << (a) << " vs " << (b) << ")")
+#define DLNER_CHECK_NE(a, b) \
+  DLNER_CHECK_MSG((a) != (b), "(" << (a) << " vs " << (b) << ")")
+#define DLNER_CHECK_LT(a, b) \
+  DLNER_CHECK_MSG((a) < (b), "(" << (a) << " vs " << (b) << ")")
+#define DLNER_CHECK_LE(a, b) \
+  DLNER_CHECK_MSG((a) <= (b), "(" << (a) << " vs " << (b) << ")")
+#define DLNER_CHECK_GT(a, b) \
+  DLNER_CHECK_MSG((a) > (b), "(" << (a) << " vs " << (b) << ")")
+#define DLNER_CHECK_GE(a, b) \
+  DLNER_CHECK_MSG((a) >= (b), "(" << (a) << " vs " << (b) << ")")
+
+#endif  // DLNER_TENSOR_CHECK_H_

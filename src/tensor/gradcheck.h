@@ -1,0 +1,25 @@
+// Finite-difference gradient checking, used by the test suite to validate
+// every differentiable op and fused module against central differences.
+#ifndef DLNER_TENSOR_GRADCHECK_H_
+#define DLNER_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/variable.h"
+
+namespace dlner {
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `build_loss` must rebuild the computation graph from scratch on every
+/// call (the inputs keep their identity; only their values are perturbed)
+/// and return a scalar loss. Returns the maximum elementwise error
+/// |analytic - numeric| / max(1, |analytic|, |numeric|) across all elements
+/// of all `inputs`.
+Float MaxGradError(const std::function<Var()>& build_loss,
+                   const std::vector<Var>& inputs, Float eps = 1e-5);
+
+}  // namespace dlner
+
+#endif  // DLNER_TENSOR_GRADCHECK_H_

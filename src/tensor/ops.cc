@@ -1,0 +1,736 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlner {
+namespace {
+
+bool AnyRequiresGrad(const std::vector<Var>& parents) {
+  for (const Var& p : parents) {
+    if (p->requires_grad) return true;
+  }
+  return false;
+}
+
+// Accumulates `delta` into `p`'s gradient if `p` participates in backprop.
+void Accum(const Var& p, const Tensor& delta) {
+  if (!p->requires_grad) return;
+  p->grad.AccumulateFrom(delta);
+}
+
+}  // namespace
+
+Var MakeNode(Tensor value, std::vector<Var> parents,
+             std::function<void(Variable*)> backward_fn) {
+  auto node = std::make_shared<Variable>(std::move(value));
+  node->requires_grad = AnyRequiresGrad(parents);
+  node->parents = std::move(parents);
+  if (node->requires_grad) node->backward_fn = std::move(backward_fn);
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise arithmetic.
+// ---------------------------------------------------------------------------
+
+Var Add(const Var& a, const Var& b) {
+  DLNER_CHECK_MSG(a->value.SameShape(b->value),
+                  a->value.ShapeString() << " vs " << b->value.ShapeString());
+  Tensor out = a->value;
+  for (int i = 0; i < out.size(); ++i) out[i] += b->value[i];
+  return MakeNode(std::move(out), {a, b}, [a, b](Variable* n) {
+    Accum(a, n->grad);
+    Accum(b, n->grad);
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  DLNER_CHECK(a->value.SameShape(b->value));
+  Tensor out = a->value;
+  for (int i = 0; i < out.size(); ++i) out[i] -= b->value[i];
+  return MakeNode(std::move(out), {a, b}, [a, b](Variable* n) {
+    Accum(a, n->grad);
+    if (b->requires_grad) {
+      for (int i = 0; i < n->grad.size(); ++i) b->grad[i] -= n->grad[i];
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  DLNER_CHECK(a->value.SameShape(b->value));
+  Tensor out = a->value;
+  for (int i = 0; i < out.size(); ++i) out[i] *= b->value[i];
+  return MakeNode(std::move(out), {a, b}, [a, b](Variable* n) {
+    if (a->requires_grad) {
+      for (int i = 0; i < n->grad.size(); ++i) {
+        a->grad[i] += n->grad[i] * b->value[i];
+      }
+    }
+    if (b->requires_grad) {
+      for (int i = 0; i < n->grad.size(); ++i) {
+        b->grad[i] += n->grad[i] * a->value[i];
+      }
+    }
+  });
+}
+
+Var Scale(const Var& a, Float s) {
+  Tensor out = a->value;
+  for (int i = 0; i < out.size(); ++i) out[i] *= s;
+  return MakeNode(std::move(out), {a}, [a, s](Variable* n) {
+    if (a->requires_grad) {
+      for (int i = 0; i < n->grad.size(); ++i) a->grad[i] += s * n->grad[i];
+    }
+  });
+}
+
+Var AddScalar(const Var& a, Float s) {
+  Tensor out = a->value;
+  for (int i = 0; i < out.size(); ++i) out[i] += s;
+  return MakeNode(std::move(out), {a},
+                  [a](Variable* n) { Accum(a, n->grad); });
+}
+
+Var Neg(const Var& a) { return Scale(a, -1.0); }
+
+// ---------------------------------------------------------------------------
+// Pointwise nonlinearities.
+// ---------------------------------------------------------------------------
+
+Var Tanh(const Var& a) {
+  Tensor out = a->value;
+  for (int i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  auto node = MakeNode(std::move(out), {a}, nullptr);
+  if (node->requires_grad) {
+    node->backward_fn = [a](Variable* n) {
+      for (int i = 0; i < n->grad.size(); ++i) {
+        a->grad[i] += n->grad[i] * (1.0 - n->value[i] * n->value[i]);
+      }
+    };
+  }
+  return node;
+}
+
+Var Sigmoid(const Var& a) {
+  Tensor out = a->value;
+  for (int i = 0; i < out.size(); ++i) out[i] = 1.0 / (1.0 + std::exp(-out[i]));
+  auto node = MakeNode(std::move(out), {a}, nullptr);
+  if (node->requires_grad) {
+    node->backward_fn = [a](Variable* n) {
+      for (int i = 0; i < n->grad.size(); ++i) {
+        a->grad[i] += n->grad[i] * n->value[i] * (1.0 - n->value[i]);
+      }
+    };
+  }
+  return node;
+}
+
+Var Relu(const Var& a) {
+  Tensor out = a->value;
+  for (int i = 0; i < out.size(); ++i) out[i] = std::max(out[i], 0.0);
+  return MakeNode(std::move(out), {a}, [a](Variable* n) {
+    if (!a->requires_grad) return;
+    for (int i = 0; i < n->grad.size(); ++i) {
+      if (a->value[i] > 0.0) a->grad[i] += n->grad[i];
+    }
+  });
+}
+
+Var Exp(const Var& a) {
+  Tensor out = a->value;
+  for (int i = 0; i < out.size(); ++i) out[i] = std::exp(out[i]);
+  auto node = MakeNode(std::move(out), {a}, nullptr);
+  if (node->requires_grad) {
+    node->backward_fn = [a](Variable* n) {
+      for (int i = 0; i < n->grad.size(); ++i) {
+        a->grad[i] += n->grad[i] * n->value[i];
+      }
+    };
+  }
+  return node;
+}
+
+Var Log(const Var& a) {
+  Tensor out = a->value;
+  for (int i = 0; i < out.size(); ++i) {
+    DLNER_CHECK_GT(out[i], 0.0);
+    out[i] = std::log(out[i]);
+  }
+  return MakeNode(std::move(out), {a}, [a](Variable* n) {
+    if (!a->requires_grad) return;
+    for (int i = 0; i < n->grad.size(); ++i) {
+      a->grad[i] += n->grad[i] / a->value[i];
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra.
+// ---------------------------------------------------------------------------
+
+Var MatMul(const Var& a, const Var& b) {
+  DLNER_CHECK_EQ(a->value.dim(), 2);
+  DLNER_CHECK_EQ(b->value.dim(), 2);
+  const int m = a->value.rows();
+  const int k = a->value.cols();
+  DLNER_CHECK_EQ(k, b->value.rows());
+  const int n = b->value.cols();
+
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const Float av = a->value.at(i, p);
+      if (av == 0.0) continue;
+      for (int j = 0; j < n; ++j) {
+        out.at(i, j) += av * b->value.at(p, j);
+      }
+    }
+  }
+  return MakeNode(std::move(out), {a, b}, [a, b, m, k, n](Variable* node) {
+    if (a->requires_grad) {
+      // dA = dC * B^T
+      for (int i = 0; i < m; ++i) {
+        for (int p = 0; p < k; ++p) {
+          Float s = 0.0;
+          for (int j = 0; j < n; ++j) {
+            s += node->grad.at(i, j) * b->value.at(p, j);
+          }
+          a->grad.at(i, p) += s;
+        }
+      }
+    }
+    if (b->requires_grad) {
+      // dB = A^T * dC
+      for (int p = 0; p < k; ++p) {
+        for (int i = 0; i < m; ++i) {
+          const Float av = a->value.at(i, p);
+          if (av == 0.0) continue;
+          for (int j = 0; j < n; ++j) {
+            b->grad.at(p, j) += av * node->grad.at(i, j);
+          }
+        }
+      }
+    }
+  });
+}
+
+Var Transpose(const Var& m) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  const int r = m->value.rows();
+  const int c = m->value.cols();
+  Tensor out({c, r});
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) out.at(j, i) = m->value.at(i, j);
+  }
+  return MakeNode(std::move(out), {m}, [m, r, c](Variable* n) {
+    if (!m->requires_grad) return;
+    for (int i = 0; i < r; ++i) {
+      for (int j = 0; j < c; ++j) m->grad.at(i, j) += n->grad.at(j, i);
+    }
+  });
+}
+
+Var Dot(const Var& a, const Var& b) {
+  DLNER_CHECK_EQ(a->value.dim(), 1);
+  DLNER_CHECK(a->value.SameShape(b->value));
+  Float s = 0.0;
+  for (int i = 0; i < a->value.size(); ++i) s += a->value[i] * b->value[i];
+  return MakeNode(Tensor({1}, {s}), {a, b}, [a, b](Variable* n) {
+    const Float g = n->grad[0];
+    if (a->requires_grad) {
+      for (int i = 0; i < a->value.size(); ++i) {
+        a->grad[i] += g * b->value[i];
+      }
+    }
+    if (b->requires_grad) {
+      for (int i = 0; i < b->value.size(); ++i) {
+        b->grad[i] += g * a->value[i];
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Broadcasts.
+// ---------------------------------------------------------------------------
+
+Var AddRowBroadcast(const Var& m, const Var& v) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  DLNER_CHECK_EQ(v->value.dim(), 1);
+  const int r = m->value.rows();
+  const int c = m->value.cols();
+  DLNER_CHECK_EQ(c, v->value.size());
+  Tensor out = m->value;
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) out.at(i, j) += v->value[j];
+  }
+  return MakeNode(std::move(out), {m, v}, [m, v, r, c](Variable* n) {
+    Accum(m, n->grad);
+    if (v->requires_grad) {
+      for (int i = 0; i < r; ++i) {
+        for (int j = 0; j < c; ++j) v->grad[j] += n->grad.at(i, j);
+      }
+    }
+  });
+}
+
+Var AddColBroadcast(const Var& m, const Var& v) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  DLNER_CHECK_EQ(v->value.dim(), 1);
+  const int r = m->value.rows();
+  const int c = m->value.cols();
+  DLNER_CHECK_EQ(r, v->value.size());
+  Tensor out = m->value;
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) out.at(i, j) += v->value[i];
+  }
+  return MakeNode(std::move(out), {m, v}, [m, v, r, c](Variable* n) {
+    Accum(m, n->grad);
+    if (v->requires_grad) {
+      for (int i = 0; i < r; ++i) {
+        for (int j = 0; j < c; ++j) v->grad[i] += n->grad.at(i, j);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+Var Sum(const Var& a) {
+  Float s = 0.0;
+  for (int i = 0; i < a->value.size(); ++i) s += a->value[i];
+  return MakeNode(Tensor({1}, {s}), {a}, [a](Variable* n) {
+    if (!a->requires_grad) return;
+    const Float g = n->grad[0];
+    for (int i = 0; i < a->grad.size(); ++i) a->grad[i] += g;
+  });
+}
+
+Var Mean(const Var& a) {
+  DLNER_CHECK_GT(a->value.size(), 0);
+  return Scale(Sum(a), 1.0 / a->value.size());
+}
+
+Var MaxOverRows(const Var& m) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  const int r = m->value.rows();
+  const int c = m->value.cols();
+  DLNER_CHECK_GT(r, 0);
+  Tensor out({c});
+  std::vector<int> argmax(c, 0);
+  for (int j = 0; j < c; ++j) {
+    Float best = m->value.at(0, j);
+    for (int i = 1; i < r; ++i) {
+      if (m->value.at(i, j) > best) {
+        best = m->value.at(i, j);
+        argmax[j] = i;
+      }
+    }
+    out[j] = best;
+  }
+  return MakeNode(std::move(out), {m},
+                  [m, argmax = std::move(argmax), c](Variable* n) {
+                    if (!m->requires_grad) return;
+                    for (int j = 0; j < c; ++j) {
+                      m->grad.at(argmax[j], j) += n->grad[j];
+                    }
+                  });
+}
+
+Var MeanOverRows(const Var& m) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  const int r = m->value.rows();
+  const int c = m->value.cols();
+  DLNER_CHECK_GT(r, 0);
+  Tensor out({c});
+  for (int j = 0; j < c; ++j) {
+    Float s = 0.0;
+    for (int i = 0; i < r; ++i) s += m->value.at(i, j);
+    out[j] = s / r;
+  }
+  return MakeNode(std::move(out), {m}, [m, r, c](Variable* n) {
+    if (!m->requires_grad) return;
+    for (int j = 0; j < c; ++j) {
+      const Float g = n->grad[j] / r;
+      for (int i = 0; i < r; ++i) m->grad.at(i, j) += g;
+    }
+  });
+}
+
+Var LogSumExp(const Var& v) {
+  DLNER_CHECK_EQ(v->value.dim(), 1);
+  DLNER_CHECK_GT(v->value.size(), 0);
+  const int n = v->value.size();
+  Float mx = v->value[0];
+  for (int i = 1; i < n; ++i) mx = std::max(mx, v->value[i]);
+  Float s = 0.0;
+  for (int i = 0; i < n; ++i) s += std::exp(v->value[i] - mx);
+  const Float lse = mx + std::log(s);
+  return MakeNode(Tensor({1}, {lse}), {v}, [v, n, lse](Variable* node) {
+    if (!v->requires_grad) return;
+    const Float g = node->grad[0];
+    for (int i = 0; i < n; ++i) {
+      v->grad[i] += g * std::exp(v->value[i] - lse);
+    }
+  });
+}
+
+Var LogSumExpOverRows(const Var& m) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  const int r = m->value.rows();
+  const int c = m->value.cols();
+  DLNER_CHECK_GT(r, 0);
+  Tensor out({c});
+  for (int j = 0; j < c; ++j) {
+    Float mx = m->value.at(0, j);
+    for (int i = 1; i < r; ++i) mx = std::max(mx, m->value.at(i, j));
+    Float s = 0.0;
+    for (int i = 0; i < r; ++i) s += std::exp(m->value.at(i, j) - mx);
+    out[j] = mx + std::log(s);
+  }
+  auto node = MakeNode(std::move(out), {m}, nullptr);
+  if (node->requires_grad) {
+    node->backward_fn = [m, r, c](Variable* n) {
+      for (int j = 0; j < c; ++j) {
+        const Float g = n->grad[j];
+        const Float lse = n->value[j];
+        for (int i = 0; i < r; ++i) {
+          m->grad.at(i, j) += g * std::exp(m->value.at(i, j) - lse);
+        }
+      }
+    };
+  }
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Softmax family.
+// ---------------------------------------------------------------------------
+
+Var Softmax(const Var& v) {
+  DLNER_CHECK_EQ(v->value.dim(), 1);
+  const int n = v->value.size();
+  DLNER_CHECK_GT(n, 0);
+  Tensor out({n});
+  Float mx = v->value[0];
+  for (int i = 1; i < n; ++i) mx = std::max(mx, v->value[i]);
+  Float s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    out[i] = std::exp(v->value[i] - mx);
+    s += out[i];
+  }
+  for (int i = 0; i < n; ++i) out[i] /= s;
+  auto node = MakeNode(std::move(out), {v}, nullptr);
+  if (node->requires_grad) {
+    node->backward_fn = [v, n](Variable* node_) {
+      Float dot = 0.0;
+      for (int i = 0; i < n; ++i) dot += node_->grad[i] * node_->value[i];
+      for (int i = 0; i < n; ++i) {
+        v->grad[i] += node_->value[i] * (node_->grad[i] - dot);
+      }
+    };
+  }
+  return node;
+}
+
+Var SoftmaxRows(const Var& m) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  const int r = m->value.rows();
+  const int c = m->value.cols();
+  Tensor out({r, c});
+  for (int i = 0; i < r; ++i) {
+    Float mx = m->value.at(i, 0);
+    for (int j = 1; j < c; ++j) mx = std::max(mx, m->value.at(i, j));
+    Float s = 0.0;
+    for (int j = 0; j < c; ++j) {
+      out.at(i, j) = std::exp(m->value.at(i, j) - mx);
+      s += out.at(i, j);
+    }
+    for (int j = 0; j < c; ++j) out.at(i, j) /= s;
+  }
+  auto node = MakeNode(std::move(out), {m}, nullptr);
+  if (node->requires_grad) {
+    node->backward_fn = [m, r, c](Variable* n) {
+      for (int i = 0; i < r; ++i) {
+        Float dot = 0.0;
+        for (int j = 0; j < c; ++j) dot += n->grad.at(i, j) * n->value.at(i, j);
+        for (int j = 0; j < c; ++j) {
+          m->grad.at(i, j) += n->value.at(i, j) * (n->grad.at(i, j) - dot);
+        }
+      }
+    };
+  }
+  return node;
+}
+
+Var LogSoftmax(const Var& v) {
+  DLNER_CHECK_EQ(v->value.dim(), 1);
+  const int n = v->value.size();
+  DLNER_CHECK_GT(n, 0);
+  Float mx = v->value[0];
+  for (int i = 1; i < n; ++i) mx = std::max(mx, v->value[i]);
+  Float s = 0.0;
+  for (int i = 0; i < n; ++i) s += std::exp(v->value[i] - mx);
+  const Float lse = mx + std::log(s);
+  Tensor out({n});
+  for (int i = 0; i < n; ++i) out[i] = v->value[i] - lse;
+  auto node = MakeNode(std::move(out), {v}, nullptr);
+  if (node->requires_grad) {
+    node->backward_fn = [v, n](Variable* node_) {
+      Float gsum = 0.0;
+      for (int i = 0; i < n; ++i) gsum += node_->grad[i];
+      for (int i = 0; i < n; ++i) {
+        v->grad[i] += node_->grad[i] - std::exp(node_->value[i]) * gsum;
+      }
+    };
+  }
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Indexing, reshaping, and structure.
+// ---------------------------------------------------------------------------
+
+Var Row(const Var& m, int r) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  DLNER_CHECK_GE(r, 0);
+  DLNER_CHECK_LT(r, m->value.rows());
+  const int c = m->value.cols();
+  Tensor out({c});
+  for (int j = 0; j < c; ++j) out[j] = m->value.at(r, j);
+  return MakeNode(std::move(out), {m}, [m, r, c](Variable* n) {
+    if (!m->requires_grad) return;
+    for (int j = 0; j < c; ++j) m->grad.at(r, j) += n->grad[j];
+  });
+}
+
+Var Rows(const Var& m, const std::vector<int>& ids) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  const int c = m->value.cols();
+  const int k = static_cast<int>(ids.size());
+  DLNER_CHECK_GT(k, 0);
+  Tensor out({k, c});
+  for (int i = 0; i < k; ++i) {
+    DLNER_CHECK_GE(ids[i], 0);
+    DLNER_CHECK_LT(ids[i], m->value.rows());
+    for (int j = 0; j < c; ++j) out.at(i, j) = m->value.at(ids[i], j);
+  }
+  return MakeNode(std::move(out), {m}, [m, ids, k, c](Variable* n) {
+    if (!m->requires_grad) return;
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < c; ++j) m->grad.at(ids[i], j) += n->grad.at(i, j);
+    }
+  });
+}
+
+Var StackRows(const std::vector<Var>& rows) {
+  DLNER_CHECK(!rows.empty());
+  const int c = rows[0]->value.size();
+  const int k = static_cast<int>(rows.size());
+  Tensor out({k, c});
+  for (int i = 0; i < k; ++i) {
+    DLNER_CHECK_EQ(rows[i]->value.dim(), 1);
+    DLNER_CHECK_EQ(rows[i]->value.size(), c);
+    for (int j = 0; j < c; ++j) out.at(i, j) = rows[i]->value[j];
+  }
+  return MakeNode(std::move(out), rows, [rows, k, c](Variable* n) {
+    for (int i = 0; i < k; ++i) {
+      if (!rows[i]->requires_grad) continue;
+      for (int j = 0; j < c; ++j) rows[i]->grad[j] += n->grad.at(i, j);
+    }
+  });
+}
+
+Var ConcatVecs(const std::vector<Var>& parts) {
+  DLNER_CHECK(!parts.empty());
+  int total = 0;
+  for (const Var& p : parts) {
+    DLNER_CHECK_EQ(p->value.dim(), 1);
+    total += p->value.size();
+  }
+  Tensor out({total});
+  int off = 0;
+  for (const Var& p : parts) {
+    for (int i = 0; i < p->value.size(); ++i) out[off + i] = p->value[i];
+    off += p->value.size();
+  }
+  return MakeNode(std::move(out), parts, [parts](Variable* n) {
+    int off = 0;
+    for (const Var& p : parts) {
+      if (p->requires_grad) {
+        for (int i = 0; i < p->value.size(); ++i) {
+          p->grad[i] += n->grad[off + i];
+        }
+      }
+      off += p->value.size();
+    }
+  });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  DLNER_CHECK(!parts.empty());
+  const int r = parts[0]->value.rows();
+  int total = 0;
+  for (const Var& p : parts) {
+    DLNER_CHECK_EQ(p->value.dim(), 2);
+    DLNER_CHECK_EQ(p->value.rows(), r);
+    total += p->value.cols();
+  }
+  Tensor out({r, total});
+  int off = 0;
+  for (const Var& p : parts) {
+    const int c = p->value.cols();
+    for (int i = 0; i < r; ++i) {
+      for (int j = 0; j < c; ++j) out.at(i, off + j) = p->value.at(i, j);
+    }
+    off += c;
+  }
+  return MakeNode(std::move(out), parts, [parts, r](Variable* n) {
+    int off = 0;
+    for (const Var& p : parts) {
+      const int c = p->value.cols();
+      if (p->requires_grad) {
+        for (int i = 0; i < r; ++i) {
+          for (int j = 0; j < c; ++j) {
+            p->grad.at(i, j) += n->grad.at(i, off + j);
+          }
+        }
+      }
+      off += c;
+    }
+  });
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  DLNER_CHECK(!parts.empty());
+  const int c = parts[0]->value.cols();
+  int total = 0;
+  for (const Var& p : parts) {
+    DLNER_CHECK_EQ(p->value.dim(), 2);
+    DLNER_CHECK_EQ(p->value.cols(), c);
+    total += p->value.rows();
+  }
+  Tensor out({total, c});
+  int off = 0;
+  for (const Var& p : parts) {
+    for (int i = 0; i < p->value.rows(); ++i) {
+      for (int j = 0; j < c; ++j) out.at(off + i, j) = p->value.at(i, j);
+    }
+    off += p->value.rows();
+  }
+  return MakeNode(std::move(out), parts, [parts, c](Variable* n) {
+    int off = 0;
+    for (const Var& p : parts) {
+      if (p->requires_grad) {
+        for (int i = 0; i < p->value.rows(); ++i) {
+          for (int j = 0; j < c; ++j) {
+            p->grad.at(i, j) += n->grad.at(off + i, j);
+          }
+        }
+      }
+      off += p->value.rows();
+    }
+  });
+}
+
+Var Pick(const Var& v, int i) {
+  DLNER_CHECK_EQ(v->value.dim(), 1);
+  DLNER_CHECK_GE(i, 0);
+  DLNER_CHECK_LT(i, v->value.size());
+  return MakeNode(Tensor({1}, {v->value[i]}), {v}, [v, i](Variable* n) {
+    if (v->requires_grad) v->grad[i] += n->grad[0];
+  });
+}
+
+Var PickAt(const Var& m, int r, int c) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  return MakeNode(Tensor({1}, {m->value.at(r, c)}), {m},
+                  [m, r, c](Variable* n) {
+                    if (m->requires_grad) m->grad.at(r, c) += n->grad[0];
+                  });
+}
+
+Var AsRow(const Var& v) {
+  DLNER_CHECK_EQ(v->value.dim(), 1);
+  const int n = v->value.size();
+  Tensor out({1, n}, v->value.vec());
+  return MakeNode(std::move(out), {v}, [v, n](Variable* node) {
+    if (!v->requires_grad) return;
+    for (int i = 0; i < n; ++i) v->grad[i] += node->grad[i];
+  });
+}
+
+Var AsVector(const Var& m) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  DLNER_CHECK_EQ(m->value.rows(), 1);
+  const int n = m->value.cols();
+  Tensor out({n}, m->value.vec());
+  return MakeNode(std::move(out), {m}, [m, n](Variable* node) {
+    if (!m->requires_grad) return;
+    for (int i = 0; i < n; ++i) m->grad[i] += node->grad[i];
+  });
+}
+
+Var PadRows(const Var& m, int top, int bottom) {
+  DLNER_CHECK_EQ(m->value.dim(), 2);
+  DLNER_CHECK_GE(top, 0);
+  DLNER_CHECK_GE(bottom, 0);
+  const int r = m->value.rows();
+  const int c = m->value.cols();
+  Tensor out({r + top + bottom, c});
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) out.at(top + i, j) = m->value.at(i, j);
+  }
+  return MakeNode(std::move(out), {m}, [m, top, r, c](Variable* n) {
+    if (!m->requires_grad) return;
+    for (int i = 0; i < r; ++i) {
+      for (int j = 0; j < c; ++j) m->grad.at(i, j) += n->grad.at(top + i, j);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Regularization.
+// ---------------------------------------------------------------------------
+
+Var Dropout(const Var& a, Float p, Rng* rng, bool training) {
+  DLNER_CHECK_GE(p, 0.0);
+  DLNER_CHECK_LT(p, 1.0);
+  if (!training || p == 0.0) return a;
+  DLNER_CHECK(rng != nullptr);
+  const Float keep = 1.0 - p;
+  std::vector<Float> mask(a->value.size());
+  Tensor out = a->value;
+  for (int i = 0; i < out.size(); ++i) {
+    mask[i] = rng->Bernoulli(p) ? 0.0 : 1.0 / keep;
+    out[i] *= mask[i];
+  }
+  return MakeNode(std::move(out), {a},
+                  [a, mask = std::move(mask)](Variable* n) {
+                    if (!a->requires_grad) return;
+                    for (int i = 0; i < n->grad.size(); ++i) {
+                      a->grad[i] += n->grad[i] * mask[i];
+                    }
+                  });
+}
+
+// ---------------------------------------------------------------------------
+// Losses.
+// ---------------------------------------------------------------------------
+
+Var CrossEntropyWithLogits(const Var& logits, int target) {
+  DLNER_CHECK_EQ(logits->value.dim(), 1);
+  DLNER_CHECK_GE(target, 0);
+  DLNER_CHECK_LT(target, logits->value.size());
+  return Neg(Pick(LogSoftmax(logits), target));
+}
+
+Var MeanSquaredError(const Var& a, const Var& b) {
+  Var d = Sub(a, b);
+  return Mean(Mul(d, d));
+}
+
+}  // namespace dlner

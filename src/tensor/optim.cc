@@ -1,0 +1,139 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace dlner {
+
+Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {
+  for (const Var& p : params_) {
+    DLNER_CHECK(p != nullptr);
+    p->EnsureGrad();
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (const Var& p : params_) p->ZeroGrad();
+}
+
+Float Optimizer::ClipGradNorm(Float max_norm) {
+  DLNER_CHECK_GT(max_norm, 0.0);
+  Float total = 0.0;
+  for (const Var& p : params_) {
+    p->EnsureGrad();
+    for (int i = 0; i < p->grad.size(); ++i) total += p->grad[i] * p->grad[i];
+  }
+  const Float norm = std::sqrt(total);
+  if (norm > max_norm) {
+    const Float scale = max_norm / norm;
+    for (const Var& p : params_) {
+      for (int i = 0; i < p->grad.size(); ++i) p->grad[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+// ---------------------------------------------------------------------------
+// Sgd.
+// ---------------------------------------------------------------------------
+
+Sgd::Sgd(std::vector<Var> params, Float lr, Float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0) {
+    velocity_.reserve(params_.size());
+    for (const Var& p : params_) velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Var& p = params_[k];
+    if (!p->requires_grad) continue;  // frozen
+    p->EnsureGrad();
+    if (momentum_ == 0.0) {
+      for (int i = 0; i < p->value.size(); ++i) {
+        p->value[i] -= lr_ * p->grad[i];
+      }
+    } else {
+      Tensor& v = velocity_[k];
+      for (int i = 0; i < p->value.size(); ++i) {
+        v[i] = momentum_ * v[i] - lr_ * p->grad[i];
+        p->value[i] += v[i];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adagrad.
+// ---------------------------------------------------------------------------
+
+Adagrad::Adagrad(std::vector<Var> params, Float lr, Float eps)
+    : Optimizer(std::move(params)), lr_(lr), eps_(eps) {
+  accum_.reserve(params_.size());
+  for (const Var& p : params_) accum_.emplace_back(p->value.shape());
+}
+
+void Adagrad::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Var& p = params_[k];
+    if (!p->requires_grad) continue;  // frozen
+    p->EnsureGrad();
+    Tensor& a = accum_[k];
+    for (int i = 0; i < p->value.size(); ++i) {
+      a[i] += p->grad[i] * p->grad[i];
+      p->value[i] -= lr_ * p->grad[i] / (std::sqrt(a[i]) + eps_);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adam.
+// ---------------------------------------------------------------------------
+
+Adam::Adam(std::vector<Var> params, Float lr, Float beta1, Float beta2,
+           Float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const Float bc1 = 1.0 - std::pow(beta1_, t_);
+  const Float bc2 = 1.0 - std::pow(beta2_, t_);
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Var& p = params_[k];
+    if (!p->requires_grad) continue;  // frozen
+    p->EnsureGrad();
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (int i = 0; i < p->value.size(); ++i) {
+      const Float g = p->grad[i];
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * g * g;
+      const Float mhat = m[i] / bc1;
+      const Float vhat = v[i] / bc2;
+      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& kind,
+                                         std::vector<Var> params, Float lr) {
+  if (kind == "sgd") return std::make_unique<Sgd>(std::move(params), lr, 0.9);
+  if (kind == "adagrad") return std::make_unique<Adagrad>(std::move(params), lr);
+  if (kind == "adam") return std::make_unique<Adam>(std::move(params), lr);
+  DLNER_CHECK_MSG(false, "unknown optimizer kind: " << kind);
+}
+
+}  // namespace dlner

@@ -1,0 +1,91 @@
+// First-order optimizers with global-norm gradient clipping.
+//
+// SGD (with momentum), Adagrad, and Adam cover the training recipes of every
+// system in the survey's Table 3.
+#ifndef DLNER_TENSOR_OPTIM_H_
+#define DLNER_TENSOR_OPTIM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/variable.h"
+
+namespace dlner {
+
+/// Base class: owns the parameter list and the update rule.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  Float ClipGradNorm(Float max_norm);
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  const std::vector<Var>& params() const { return params_; }
+
+ protected:
+  std::vector<Var> params_;
+};
+
+/// Stochastic gradient descent with (optional) classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, Float lr, Float momentum = 0.0);
+  void Step() override;
+  void set_lr(Float lr) { lr_ = lr; }
+  Float lr() const { return lr_; }
+
+ private:
+  Float lr_;
+  Float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adagrad (per-coordinate adaptive learning rates).
+class Adagrad : public Optimizer {
+ public:
+  Adagrad(std::vector<Var> params, Float lr, Float eps = 1e-8);
+  void Step() override;
+
+ private:
+  Float lr_;
+  Float eps_;
+  std::vector<Tensor> accum_;
+};
+
+/// Adam with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, Float lr, Float beta1 = 0.9,
+       Float beta2 = 0.999, Float eps = 1e-8);
+  void Step() override;
+  void set_lr(Float lr) { lr_ = lr; }
+  Float lr() const { return lr_; }
+
+ private:
+  Float lr_;
+  Float beta1_;
+  Float beta2_;
+  Float eps_;
+  int t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Factory by name: "sgd", "adagrad", or "adam".
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& kind,
+                                         std::vector<Var> params, Float lr);
+
+}  // namespace dlner
+
+#endif  // DLNER_TENSOR_OPTIM_H_

@@ -1,0 +1,117 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "tensor/check.h"
+
+namespace dlner {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'L', 'N', 'R'};
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::istream& is, uint32_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+void SaveTensor(std::ostream& os, const Tensor& t) {
+  WriteU32(os, static_cast<uint32_t>(t.dim()));
+  for (int i = 0; i < t.dim(); ++i) {
+    int32_t d = t.shape(i);
+    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.size() * sizeof(Float)));
+}
+
+bool LoadTensor(std::istream& is, Tensor* t) {
+  uint32_t rank = 0;
+  if (!ReadU32(is, &rank) || rank > 8) return false;
+  std::vector<int> shape(rank);
+  for (uint32_t i = 0; i < rank; ++i) {
+    int32_t d = 0;
+    is.read(reinterpret_cast<char*>(&d), sizeof(d));
+    if (!is || d < 0) return false;
+    shape[i] = d;
+  }
+  Tensor loaded(shape);
+  is.read(reinterpret_cast<char*>(loaded.data()),
+          static_cast<std::streamsize>(loaded.size() * sizeof(Float)));
+  if (!is) return false;
+  *t = std::move(loaded);
+  return true;
+}
+
+void SaveParameters(std::ostream& os, const std::vector<Var>& params) {
+  os.write(kMagic, sizeof(kMagic));
+  WriteU32(os, kVersion);
+  WriteU32(os, static_cast<uint32_t>(params.size()));
+  for (const Var& p : params) {
+    DLNER_CHECK_MSG(!p->name.empty(), "serializable parameters need names");
+    WriteU32(os, static_cast<uint32_t>(p->name.size()));
+    os.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    SaveTensor(os, p->value);
+  }
+}
+
+bool LoadParameters(std::istream& is, const std::vector<Var>& params) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) return false;
+  uint32_t version = 0;
+  if (!ReadU32(is, &version) || version != kVersion) return false;
+  uint32_t count = 0;
+  if (!ReadU32(is, &count)) return false;
+
+  std::unordered_map<std::string, Var> by_name;
+  for (const Var& p : params) {
+    DLNER_CHECK(!p->name.empty());
+    DLNER_CHECK_MSG(by_name.emplace(p->name, p).second,
+                    "duplicate parameter name: " << p->name);
+  }
+
+  size_t restored = 0;
+  for (uint32_t k = 0; k < count; ++k) {
+    uint32_t name_len = 0;
+    if (!ReadU32(is, &name_len) || name_len > 4096) return false;
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (!is) return false;
+    Tensor t;
+    if (!LoadTensor(is, &t)) return false;
+    auto it = by_name.find(name);
+    if (it == by_name.end()) continue;  // Extra entries are tolerated.
+    if (!it->second->value.SameShape(t)) return false;
+    it->second->value = std::move(t);
+    ++restored;
+  }
+  return restored == params.size();
+}
+
+bool SaveParametersToFile(const std::string& path,
+                          const std::vector<Var>& params) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  SaveParameters(os, params);
+  return static_cast<bool>(os);
+}
+
+bool LoadParametersFromFile(const std::string& path,
+                            const std::vector<Var>& params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  return LoadParameters(is, params);
+}
+
+}  // namespace dlner

@@ -1,0 +1,41 @@
+// Binary (de)serialization of tensors and named parameter lists.
+//
+// Format (little-endian, host doubles):
+//   magic "DLNR" | version u32 | count u32 |
+//   per parameter: name_len u32 | name bytes | rank u32 | dims i32[rank] |
+//                  data f64[numel]
+// Loading verifies names and shapes so that a checkpoint can only be
+// restored into a structurally identical model.
+#ifndef DLNER_TENSOR_SERIALIZE_H_
+#define DLNER_TENSOR_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/variable.h"
+
+namespace dlner {
+
+/// Writes one tensor.
+void SaveTensor(std::ostream& os, const Tensor& t);
+
+/// Reads one tensor; returns false on malformed input.
+bool LoadTensor(std::istream& is, Tensor* t);
+
+/// Writes a named parameter list (names must be unique and non-empty).
+void SaveParameters(std::ostream& os, const std::vector<Var>& params);
+
+/// Restores values into `params`, matching entries by name. Returns false if
+/// the stream is malformed, a name is missing, or a shape differs.
+bool LoadParameters(std::istream& is, const std::vector<Var>& params);
+
+/// Convenience file wrappers; return false on I/O failure.
+bool SaveParametersToFile(const std::string& path,
+                          const std::vector<Var>& params);
+bool LoadParametersFromFile(const std::string& path,
+                            const std::vector<Var>& params);
+
+}  // namespace dlner
+
+#endif  // DLNER_TENSOR_SERIALIZE_H_

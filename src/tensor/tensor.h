@@ -1,0 +1,87 @@
+// Dense row-major tensor of doubles.
+//
+// The library's workloads are sentence-scale NER models, so tensors are
+// small (at most a few thousand elements); the representation favors
+// simplicity and numerical robustness (double precision keeps CRF dynamic
+// programs and finite-difference gradient checks stable) over SIMD
+// micro-optimization.
+#ifndef DLNER_TENSOR_TENSOR_H_
+#define DLNER_TENSOR_TENSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace dlner {
+
+/// Scalar type used throughout the library.
+using Float = double;
+
+/// A dense row-major tensor. Rank 1 and 2 cover every model in the toolkit;
+/// higher ranks are representable but no op requires them.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-filled tensor with the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  /// Tensor with the given shape and explicit contents (row-major).
+  Tensor(std::vector<int> shape, std::vector<Float> data);
+
+  /// Rank-1 zero tensor of length n.
+  static Tensor Zeros(int n);
+  /// Rank-2 zero tensor.
+  static Tensor Zeros(int rows, int cols);
+  /// Rank-1 tensor from values.
+  static Tensor FromVector(const std::vector<Float>& values);
+  /// Tensor of the given shape filled with a constant.
+  static Tensor Full(std::vector<int> shape, Float value);
+
+  int dim() const { return static_cast<int>(shape_.size()); }
+  const std::vector<int>& shape() const { return shape_; }
+  int shape(int axis) const;
+  int size() const { return static_cast<int>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  /// Number of rows / columns; requires rank 2.
+  int rows() const;
+  int cols() const;
+
+  Float* data() { return data_.data(); }
+  const Float* data() const { return data_.data(); }
+  std::vector<Float>& vec() { return data_; }
+  const std::vector<Float>& vec() const { return data_; }
+
+  /// Flat element access.
+  Float& operator[](int i);
+  Float operator[](int i) const;
+
+  /// 2-D element access; requires rank 2.
+  Float& at(int r, int c);
+  Float at(int r, int c) const;
+
+  /// Sets every element to the given value.
+  void Fill(Float value);
+
+  /// Adds `other` elementwise into this tensor. Shapes must match.
+  void AccumulateFrom(const Tensor& other);
+
+  /// Euclidean norm of all elements.
+  Float Norm() const;
+
+  /// True when shapes and all elements match exactly.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Human-readable short description, e.g. "[3x4]".
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<Float> data_;
+};
+
+}  // namespace dlner
+
+#endif  // DLNER_TENSOR_TENSOR_H_

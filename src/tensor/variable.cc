@@ -1,0 +1,68 @@
+#include "tensor/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/check.h"
+
+namespace dlner {
+
+void Variable::EnsureGrad() {
+  if (!grad.SameShape(value) || grad.empty() != value.empty()) {
+    grad = Tensor(value.shape());
+  }
+}
+
+void Variable::ZeroGrad() {
+  EnsureGrad();
+  grad.Fill(0.0);
+}
+
+Var Constant(Tensor value) {
+  auto v = std::make_shared<Variable>(std::move(value));
+  v->requires_grad = false;
+  return v;
+}
+
+Var Parameter(Tensor value, std::string name) {
+  auto v = std::make_shared<Variable>(std::move(value));
+  v->requires_grad = true;
+  v->name = std::move(name);
+  return v;
+}
+
+namespace {
+
+// Builds a post-order (children after parents get visited first) list of the
+// graph reachable from root, restricted to nodes that require gradients.
+void TopoSort(Variable* node, std::unordered_set<Variable*>* visited,
+              std::vector<Variable*>* order) {
+  if (visited->count(node) > 0) return;
+  visited->insert(node);
+  for (const Var& p : node->parents) {
+    if (p->requires_grad) TopoSort(p.get(), visited, order);
+  }
+  order->push_back(node);
+}
+
+}  // namespace
+
+void Backward(const Var& root) {
+  DLNER_CHECK(root != nullptr);
+  DLNER_CHECK_MSG(root->value.size() == 1,
+                  "Backward root must be scalar, got "
+                      << root->value.ShapeString());
+  std::unordered_set<Variable*> visited;
+  std::vector<Variable*> order;
+  TopoSort(root.get(), &visited, &order);
+
+  // Zero gradients of all nodes in this graph, then seed the root.
+  for (Variable* n : order) n->ZeroGrad();
+  root->grad[0] = 1.0;
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Variable* n = *it;
+    if (n->backward_fn) n->backward_fn(n);
+  }
+}
+
+}  // namespace dlner

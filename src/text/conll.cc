@@ -1,0 +1,65 @@
+#include "text/conll.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace dlner::text {
+
+void WriteConll(std::ostream& os, const Corpus& corpus, const TagSet& tags) {
+  for (const Sentence& s : corpus.sentences) {
+    const std::vector<int> ids = tags.SpansToTagIds(s.spans, s.size());
+    for (int t = 0; t < s.size(); ++t) {
+      os << s.tokens[t] << ' ' << tags.TagOf(ids[t]) << '\n';
+    }
+    os << '\n';
+  }
+}
+
+bool ReadConll(std::istream& is, Corpus* corpus) {
+  corpus->sentences.clear();
+  std::vector<std::string> tokens;
+  std::vector<std::string> tags;
+
+  auto flush = [&]() {
+    if (tokens.empty()) return;
+    Sentence s;
+    s.tokens = tokens;
+    s.spans = SpansFromStringTags(tags);
+    corpus->sentences.push_back(std::move(s));
+    tokens.clear();
+    tags.clear();
+  };
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      flush();
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string token, tag;
+    if (!(fields >> token >> tag)) return false;
+    tokens.push_back(token);
+    tags.push_back(tag);
+  }
+  flush();
+  return true;
+}
+
+bool WriteConllFile(const std::string& path, const Corpus& corpus,
+                    const TagSet& tags) {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteConll(os, corpus, tags);
+  return static_cast<bool>(os);
+}
+
+bool ReadConllFile(const std::string& path, Corpus* corpus) {
+  std::ifstream is(path);
+  if (!is) return false;
+  return ReadConll(is, corpus);
+}
+
+}  // namespace dlner::text

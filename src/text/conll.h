@@ -1,0 +1,29 @@
+// CoNLL-2003-style column format I/O: one "token tag" pair per line, blank
+// line between sentences (the interchange format of Table 1's corpora).
+#ifndef DLNER_TEXT_CONLL_H_
+#define DLNER_TEXT_CONLL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "text/tagging.h"
+#include "text/types.h"
+
+namespace dlner::text {
+
+/// Writes a corpus in CoNLL format using the given tag set/scheme.
+void WriteConll(std::ostream& os, const Corpus& corpus, const TagSet& tags);
+
+/// Reads a CoNLL-format stream. Tag strings may use any mix of
+/// B-/I-/E-/S-/O prefixes; spans are recovered leniently. Returns false on
+/// malformed lines (missing tag column).
+bool ReadConll(std::istream& is, Corpus* corpus);
+
+/// File convenience wrappers; return false on I/O failure.
+bool WriteConllFile(const std::string& path, const Corpus& corpus,
+                    const TagSet& tags);
+bool ReadConllFile(const std::string& path, Corpus* corpus);
+
+}  // namespace dlner::text
+
+#endif  // DLNER_TEXT_CONLL_H_

@@ -1,0 +1,35 @@
+#include "text/types.h"
+
+#include <algorithm>
+
+namespace dlner::text {
+
+int Corpus::TokenCount() const {
+  int n = 0;
+  for (const Sentence& s : sentences) n += s.size();
+  return n;
+}
+
+int Corpus::EntityCount() const {
+  int n = 0;
+  for (const Sentence& s : sentences) n += static_cast<int>(s.spans.size());
+  return n;
+}
+
+bool SpansAreValid(const std::vector<Span>& spans, int num_tokens) {
+  for (const Span& sp : spans) {
+    if (sp.start < 0 || sp.end > num_tokens || sp.start >= sp.end) return false;
+    if (sp.type.empty()) return false;
+  }
+  return true;
+}
+
+bool SpansAreFlat(std::vector<Span> spans) {
+  std::sort(spans.begin(), spans.end());
+  for (size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].start < spans[i - 1].end) return false;
+  }
+  return true;
+}
+
+}  // namespace dlner::text

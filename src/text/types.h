@@ -1,0 +1,59 @@
+// Core text types: entity spans, annotated sentences, corpora.
+//
+// These mirror the survey's task formulation (Section 2.1): given a token
+// sequence, NER outputs a list of (start, end, type) tuples. Spans use
+// half-open [start, end) token indexes. Nested annotations are represented
+// simply by overlapping spans in the same list.
+#ifndef DLNER_TEXT_TYPES_H_
+#define DLNER_TEXT_TYPES_H_
+
+#include <string>
+#include <vector>
+
+namespace dlner::text {
+
+/// One entity mention: tokens [start, end) with an entity type label.
+struct Span {
+  int start = 0;
+  int end = 0;  // exclusive
+  std::string type;
+
+  friend bool operator==(const Span& a, const Span& b) {
+    return a.start == b.start && a.end == b.end && a.type == b.type;
+  }
+  friend bool operator<(const Span& a, const Span& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.end != b.end) return a.end < b.end;
+    return a.type < b.type;
+  }
+};
+
+/// A tokenized sentence with gold entity annotations.
+struct Sentence {
+  std::vector<std::string> tokens;
+  std::vector<Span> spans;
+
+  int size() const { return static_cast<int>(tokens.size()); }
+};
+
+/// A collection of annotated sentences.
+struct Corpus {
+  std::vector<Sentence> sentences;
+
+  int size() const { return static_cast<int>(sentences.size()); }
+  /// Total token count across sentences.
+  int TokenCount() const;
+  /// Total entity mention count across sentences.
+  int EntityCount() const;
+};
+
+/// True when the span list is internally consistent for a sentence of
+/// `num_tokens` tokens: indexes in range, start < end, types non-empty.
+bool SpansAreValid(const std::vector<Span>& spans, int num_tokens);
+
+/// True when no two spans in the list overlap (flat annotation).
+bool SpansAreFlat(std::vector<Span> spans);
+
+}  // namespace dlner::text
+
+#endif  // DLNER_TEXT_TYPES_H_

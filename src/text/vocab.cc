@@ -1,0 +1,137 @@
+#include "text/vocab.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "tensor/check.h"
+
+namespace dlner::text {
+
+Vocabulary::Vocabulary() {
+  tokens_.push_back(kUnkToken);
+  counts_.push_back(0);
+  index_[kUnkToken] = kUnkId;
+}
+
+int Vocabulary::Add(const std::string& token) {
+  DLNER_CHECK_MSG(!frozen_, "Add() after Freeze()");
+  auto it = index_.find(token);
+  if (it != index_.end()) {
+    ++counts_[it->second];
+    return it->second;
+  }
+  const int id = static_cast<int>(tokens_.size());
+  index_[token] = id;
+  tokens_.push_back(token);
+  counts_.push_back(1);
+  return id;
+}
+
+int Vocabulary::Id(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? kUnkId : it->second;
+}
+
+bool Vocabulary::Contains(const std::string& token) const {
+  return index_.count(token) > 0;
+}
+
+const std::string& Vocabulary::TokenOf(int id) const {
+  DLNER_CHECK_GE(id, 0);
+  DLNER_CHECK_LT(id, size());
+  return tokens_[id];
+}
+
+int Vocabulary::CountOf(int id) const {
+  DLNER_CHECK_GE(id, 0);
+  DLNER_CHECK_LT(id, size());
+  return counts_[id];
+}
+
+void Vocabulary::Freeze(int min_count) {
+  DLNER_CHECK(!frozen_);
+  if (min_count > 1) {
+    std::vector<std::string> kept_tokens = {kUnkToken};
+    std::vector<int> kept_counts = {0};
+    std::unordered_map<std::string, int> kept_index = {{kUnkToken, kUnkId}};
+    for (int id = 1; id < size(); ++id) {
+      if (counts_[id] >= min_count) {
+        kept_index[tokens_[id]] = static_cast<int>(kept_tokens.size());
+        kept_tokens.push_back(tokens_[id]);
+        kept_counts.push_back(counts_[id]);
+      }
+    }
+    tokens_ = std::move(kept_tokens);
+    counts_ = std::move(kept_counts);
+    index_ = std::move(kept_index);
+  }
+  frozen_ = true;
+}
+
+Vocabulary Vocabulary::FromCorpus(const Corpus& corpus, int min_count) {
+  Vocabulary v;
+  for (const Sentence& s : corpus.sentences) {
+    for (const std::string& tok : s.tokens) v.Add(tok);
+  }
+  v.Freeze(min_count);
+  return v;
+}
+
+Vocabulary Vocabulary::CharsFromCorpus(const Corpus& corpus) {
+  Vocabulary v;
+  for (const Sentence& s : corpus.sentences) {
+    for (const std::string& tok : s.tokens) {
+      for (char c : tok) v.Add(std::string(1, c));
+    }
+  }
+  v.Freeze();
+  return v;
+}
+
+std::vector<int> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& t : tokens) ids.push_back(Id(t));
+  return ids;
+}
+
+void Vocabulary::Save(std::ostream& os) const {
+  os << size() << '\n';
+  // Skip UNK (id 0): it is implicit in every vocabulary.
+  for (int id = 1; id < size(); ++id) {
+    os << counts_[id] << '\t' << tokens_[id] << '\n';
+  }
+}
+
+bool Vocabulary::Load(std::istream& is, Vocabulary* vocab) {
+  int n = 0;
+  if (!(is >> n) || n < 1) return false;
+  is.ignore();  // trailing newline
+  Vocabulary loaded;
+  for (int id = 1; id < n; ++id) {
+    std::string line;
+    if (!std::getline(is, line)) return false;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) return false;
+    const int count = std::atoi(line.substr(0, tab).c_str());
+    const std::string token = line.substr(tab + 1);
+    if (token.empty()) return false;
+    const int new_id = loaded.Add(token);
+    if (new_id != id) return false;  // duplicates would shift ids
+    loaded.counts_[new_id] = count;
+  }
+  loaded.Freeze();
+  *vocab = std::move(loaded);
+  return true;
+}
+
+std::vector<int> Vocabulary::EncodeChars(const std::string& word) const {
+  std::vector<int> ids;
+  ids.reserve(word.size());
+  for (char c : word) ids.push_back(Id(std::string(1, c)));
+  return ids;
+}
+
+}  // namespace dlner::text

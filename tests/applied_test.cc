@@ -1,0 +1,349 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "applied/active.h"
+#include "applied/adversarial.h"
+#include "applied/distant.h"
+#include "applied/multitask.h"
+#include "applied/nested.h"
+#include "applied/transfer.h"
+#include "data/dataset.h"
+
+namespace dlner::applied {
+namespace {
+
+using data::Genre;
+
+core::NerConfig SmallConfig(uint64_t seed = 5) {
+  core::NerConfig config;
+  config.word_dim = 12;
+  config.hidden_dim = 10;
+  config.input_dropout = 0.1;
+  config.seed = seed;
+  return config;
+}
+
+core::TrainConfig FastTrain(int epochs) {
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.lr = 0.02;
+  return tc;
+}
+
+text::Corpus SmallNews(int n, uint64_t seed) {
+  data::GenOptions opts;
+  opts.num_sentences = n;
+  opts.seed = seed;
+  return data::GenerateCorpus(Genre::kNews, opts);
+}
+
+// --- Multi-task ---
+
+TEST(MultiTaskTest, LmTermAddsToTrainingLoss) {
+  text::Corpus corpus = SmallNews(20, 1);
+  MultiTaskLmModel model(SmallConfig(), corpus,
+                         data::EntityTypesFor(Genre::kNews), 0.5);
+  const text::Sentence& s = corpus.sentences[0];
+  // Training loss includes the LM term; eval loss does not.
+  const double train_loss = model.Loss(s, /*training=*/true)->value[0];
+  const double eval_loss = model.Loss(s, /*training=*/false)->value[0];
+  EXPECT_GT(train_loss, eval_loss);
+}
+
+TEST(MultiTaskTest, HasExtraParametersAndTrains) {
+  text::Corpus corpus = SmallNews(30, 2);
+  core::NerModel plain(SmallConfig(), corpus,
+                       data::EntityTypesFor(Genre::kNews));
+  MultiTaskLmModel mtl(SmallConfig(), corpus,
+                       data::EntityTypesFor(Genre::kNews), 0.3);
+  EXPECT_GT(mtl.ParameterCount(), plain.ParameterCount());
+  core::Trainer trainer(&mtl, FastTrain(3));
+  core::TrainResult r = trainer.Train(corpus, nullptr);
+  EXPECT_LT(r.history.back().train_loss, r.history.front().train_loss);
+}
+
+TEST(MultiTaskTest, ZeroWeightMatchesPlainLoss) {
+  text::Corpus corpus = SmallNews(10, 3);
+  core::NerConfig config = SmallConfig();
+  config.input_dropout = 0.0;  // make train/eval passes deterministic
+  MultiTaskLmModel model(config, corpus,
+                         data::EntityTypesFor(Genre::kNews), 0.0);
+  const text::Sentence& s = corpus.sentences[0];
+  EXPECT_DOUBLE_EQ(model.Loss(s, true)->value[0],
+                   model.Loss(s, false)->value[0]);
+}
+
+TEST(BoundaryMultiTaskTest, AuxHeadDetectsUntypedBoundaries) {
+  text::Corpus corpus = SmallNews(60, 41);
+  MultiTaskBoundaryModel model(SmallConfig(), corpus,
+                               data::EntityTypesFor(Genre::kNews),
+                               /*boundary_weight=*/0.5);
+  core::Trainer trainer(&model, FastTrain(6));
+  trainer.Train(corpus, nullptr);
+  // The auxiliary head must recover most gold boundaries (untyped).
+  int tp = 0, total = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto& s = corpus.sentences[i];
+    auto predicted = model.PredictBoundaries(s.tokens);
+    std::set<std::pair<int, int>> pred_set;
+    for (const auto& sp : predicted) pred_set.insert({sp.start, sp.end});
+    for (const auto& g : s.spans) {
+      ++total;
+      if (pred_set.count({g.start, g.end}) > 0) ++tp;
+    }
+  }
+  EXPECT_GT(static_cast<double>(tp) / total, 0.7);
+}
+
+TEST(BoundaryMultiTaskTest, TrainingLossIncludesAuxTerm) {
+  text::Corpus corpus = SmallNews(10, 42);
+  core::NerConfig config = SmallConfig();
+  config.input_dropout = 0.0;
+  MultiTaskBoundaryModel model(config, corpus,
+                               data::EntityTypesFor(Genre::kNews), 0.5);
+  const auto& s = corpus.sentences[0];
+  EXPECT_GT(model.Loss(s, true)->value[0], model.Loss(s, false)->value[0]);
+}
+
+// --- Transfer ---
+
+TEST(TransferTest, CopyMatchingParametersByNameAndShape) {
+  text::Corpus source_corpus = SmallNews(30, 4);
+  text::Corpus target_corpus = SmallNews(10, 5);
+  core::NerModel source(SmallConfig(7), source_corpus,
+                        data::EntityTypesFor(Genre::kNews));
+  core::NerModel target(SmallConfig(8), target_corpus,
+                        data::EntityTypesFor(Genre::kNews));
+  const int copied = CopyMatchingParameters(source, &target);
+  // Encoder and decoder shapes match (same config, same label set); the
+  // word embedding tables have different vocab sizes and are skipped.
+  EXPECT_GT(copied, 0);
+  // Encoder parameters actually carried over.
+  const auto src_enc = source.encoder()->Parameters();
+  const auto tgt_enc = target.encoder()->Parameters();
+  ASSERT_EQ(src_enc.size(), tgt_enc.size());
+  for (size_t i = 0; i < src_enc.size(); ++i) {
+    for (int j = 0; j < src_enc[i]->value.size(); ++j) {
+      EXPECT_DOUBLE_EQ(tgt_enc[i]->value[j], src_enc[i]->value[j]);
+    }
+  }
+}
+
+TEST(TransferTest, FineTuneModelReusesVocabulary) {
+  text::Corpus source_corpus = SmallNews(30, 6);
+  core::NerModel source(SmallConfig(), source_corpus,
+                        data::EntityTypesFor(Genre::kNews));
+  auto target = MakeFineTuneModel(source, SmallConfig(),
+                                  data::EntityTypesFor(Genre::kNews));
+  EXPECT_EQ(target->word_vocab().size(), source.word_vocab().size());
+  // Word embedding table transfers because vocabularies match.
+  const auto& src_rep = source.representation()->Parameters();
+  const auto& tgt_rep = target->representation()->Parameters();
+  ASSERT_EQ(src_rep.size(), tgt_rep.size());
+  EXPECT_DOUBLE_EQ(tgt_rep[0]->value[0], src_rep[0]->value[0]);
+}
+
+TEST(TransferTest, DifferentLabelSetSkipsDecoder) {
+  text::Corpus source_corpus = SmallNews(20, 7);
+  core::NerModel source(SmallConfig(), source_corpus,
+                        data::EntityTypesFor(Genre::kNews));
+  // Bio types: different tag-set size -> decoder projection shape differs.
+  auto target = MakeFineTuneModel(source, SmallConfig(),
+                                  data::EntityTypesFor(Genre::kBio));
+  const auto src_dec = source.decoder()->Parameters();
+  const auto tgt_dec = target->decoder()->Parameters();
+  // Shapes differ so values must NOT have been copied.
+  EXPECT_NE(src_dec[0]->value.size(), tgt_dec[0]->value.size());
+}
+
+TEST(TransferTest, FrozenModulesDoNotMove) {
+  text::Corpus corpus = SmallNews(15, 8);
+  core::NerModel model(SmallConfig(), corpus,
+                       data::EntityTypesFor(Genre::kNews));
+  FreezeModules(&model, /*freeze_representation=*/true,
+                /*freeze_encoder=*/true);
+  const Tensor before = model.encoder()->Parameters()[0]->value;
+  core::Trainer trainer(&model, FastTrain(2));
+  trainer.Train(corpus, nullptr);
+  const Tensor after = model.encoder()->Parameters()[0]->value;
+  for (int i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(after[i], before[i]);
+  }
+  // Decoder still moved.
+  EXPECT_GT(model.decoder()->Parameters()[0]->grad.size(), 0);
+}
+
+// --- Active learning ---
+
+TEST(ActiveTest, RunsAndGrowsLabeledSet) {
+  text::Corpus pool = SmallNews(60, 9);
+  text::Corpus test = SmallNews(20, 10);
+  core::NerModel model(SmallConfig(), pool,
+                       data::EntityTypesFor(Genre::kNews));
+  ActiveConfig config;
+  config.seed_size = 10;
+  config.batch_size = 10;
+  config.rounds = 3;
+  config.epochs_per_round = 2;
+  config.train = FastTrain(1);
+  ActiveLearner learner(&model, config);
+  auto history = learner.Run(pool, test);
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_EQ(history[0].labeled_sentences, 10);
+  EXPECT_EQ(history[3].labeled_sentences, 40);
+  EXPECT_GT(history[3].test_f1, history[0].test_f1 - 0.05);
+}
+
+TEST(ActiveTest, UncertaintyIsNonNegative) {
+  text::Corpus pool = SmallNews(10, 11);
+  core::NerModel model(SmallConfig(), pool,
+                       data::EntityTypesFor(Genre::kNews));
+  ActiveConfig config;
+  config.train = FastTrain(1);
+  ActiveLearner learner(&model, config);
+  for (const auto& s : pool.sentences) {
+    EXPECT_GE(learner.Uncertainty(s), -1e-9);
+  }
+}
+
+// --- Adversarial ---
+
+TEST(AdversarialTest, PerturbationHasEpsilonNorm) {
+  text::Corpus corpus = SmallNews(10, 12);
+  core::NerModel model(SmallConfig(), corpus,
+                       data::EntityTypesFor(Genre::kNews));
+  AdversarialConfig adv;
+  adv.epsilon = 0.25;
+  AdversarialTrainer trainer(&model, FastTrain(1), adv);
+  Tensor eta = trainer.ComputePerturbation(corpus.sentences[0]);
+  EXPECT_NEAR(eta.Norm(), 0.25, 1e-9);
+}
+
+TEST(AdversarialTest, PerturbationIncreasesLoss) {
+  text::Corpus corpus = SmallNews(20, 13);
+  core::NerModel model(SmallConfig(), corpus,
+                       data::EntityTypesFor(Genre::kNews));
+  // Brief training so gradients are meaningful.
+  core::Trainer warm(&model, FastTrain(2));
+  warm.Train(corpus, nullptr);
+
+  AdversarialConfig adv;
+  adv.epsilon = 0.5;
+  AdversarialTrainer trainer(&model, FastTrain(1), adv);
+  int increased = 0, total = 0;
+  for (int i = 0; i < 10; ++i) {
+    const text::Sentence& s = corpus.sentences[i];
+    Tensor eta = trainer.ComputePerturbation(s);
+    // Evaluate loss without dropout for a clean comparison.
+    Var rep_clean = model.Represent(s.tokens, false);
+    const double clean =
+        model.LossFromRepresentation(rep_clean, s, false)->value[0];
+    Var rep_adv = Add(model.Represent(s.tokens, false), Constant(eta));
+    const double perturbed =
+        model.LossFromRepresentation(rep_adv, s, false)->value[0];
+    ++total;
+    if (perturbed > clean) ++increased;
+  }
+  // The FGSM direction must raise the loss in the large majority of cases.
+  EXPECT_GE(increased, total - 2);
+}
+
+TEST(AdversarialTest, TrainingDecreasesLoss) {
+  text::Corpus corpus = SmallNews(20, 14);
+  core::NerModel model(SmallConfig(), corpus,
+                       data::EntityTypesFor(Genre::kNews));
+  AdversarialConfig adv;
+  AdversarialTrainer trainer(&model, FastTrain(1), adv);
+  const double l1 = trainer.RunEpoch(corpus);
+  trainer.Train(corpus, 3);
+  const double l2 = trainer.RunEpoch(corpus);
+  EXPECT_LT(l2, l1);
+}
+
+// --- Distant supervision / RL ---
+
+TEST(DistantTest, SelectorRunsAndRecordsEpisodes) {
+  text::Corpus clean = SmallNews(60, 15);
+  data::DataSplit split = data::SplitCorpus(clean, 0.6, 0.2, 3);
+  text::Corpus noisy = data::CorruptLabels(
+      split.train, 0.4, data::EntityTypesFor(Genre::kNews), 7);
+
+  DistantConfig config;
+  config.episodes = 2;
+  config.warmup_epochs = 1;
+  config.episode_epochs = 1;
+  config.final_epochs = 2;
+  config.model_config = SmallConfig();
+  config.train = FastTrain(2);
+  InstanceSelector selector(config);
+  DistantResult result =
+      selector.Run(noisy, split.dev, split.test,
+                   data::EntityTypesFor(Genre::kNews));
+  EXPECT_EQ(result.episode_rewards.size(), 2u);
+  EXPECT_EQ(result.keep_fractions.size(), 2u);
+  EXPECT_GE(result.f1_selected, 0.0);
+  EXPECT_GE(result.f1_all_data, 0.0);
+  EXPECT_EQ(result.policy_weights.size(), 3u);
+}
+
+// --- Nested NER ---
+
+TEST(NestedTest, SplitLevelsPeelsInnermostFirst) {
+  text::Corpus corpus;
+  // "University of Singapore" with inner LOC.
+  corpus.sentences.push_back(
+      {{"University", "of", "Singapore", "opened"},
+       {{0, 3, "ORG"}, {2, 3, "LOC"}}});
+  auto levels = SplitNestingLevels(corpus, 3);
+  ASSERT_EQ(levels.size(), 3u);
+  ASSERT_EQ(levels[0].sentences[0].spans.size(), 1u);
+  EXPECT_EQ(levels[0].sentences[0].spans[0].type, "LOC");
+  ASSERT_EQ(levels[1].sentences[0].spans.size(), 1u);
+  EXPECT_EQ(levels[1].sentences[0].spans[0].type, "ORG");
+  EXPECT_TRUE(levels[2].sentences[0].spans.empty());
+}
+
+TEST(NestedTest, FlatCorpusFitsInLevelZero) {
+  text::Corpus corpus;
+  corpus.sentences.push_back(
+      {{"a", "b", "c"}, {{0, 1, "X"}, {2, 3, "Y"}}});
+  auto levels = SplitNestingLevels(corpus);
+  EXPECT_EQ(levels[0].sentences[0].spans.size(), 2u);
+  EXPECT_TRUE(levels[1].sentences[0].spans.empty());
+}
+
+TEST(NestedTest, LevelsAreFlatAndCoverAllSpans) {
+  data::GenOptions opts;
+  opts.num_sentences = 60;
+  opts.seed = 16;
+  text::Corpus corpus = data::GenerateCorpus(Genre::kNested, opts);
+  auto levels = SplitNestingLevels(corpus);
+  int covered = 0;
+  for (size_t l = 0; l < levels.size(); ++l) {
+    for (const auto& s : levels[l].sentences) {
+      EXPECT_TRUE(text::SpansAreFlat(s.spans));
+      covered += static_cast<int>(s.spans.size());
+    }
+  }
+  EXPECT_EQ(covered, corpus.EntityCount());
+}
+
+TEST(NestedTest, LayeredModelRecoversNestedMentions) {
+  data::GenOptions opts;
+  opts.num_sentences = 80;
+  opts.seed = 17;
+  text::Corpus corpus = data::GenerateCorpus(Genre::kNested, opts);
+  data::DataSplit split = data::SplitCorpus(corpus, 0.75, 0.0, 4);
+
+  LayeredNerModel layered(SmallConfig(),
+                          data::EntityTypesFor(Genre::kNested));
+  layered.Train(split.train, FastTrain(5));
+  EXPECT_GE(layered.num_levels(), 2);
+  eval::ExactResult result = layered.Evaluate(split.test);
+  EXPECT_GT(result.micro.f1(), 0.4);
+}
+
+}  // namespace
+}  // namespace dlner::applied

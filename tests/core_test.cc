@@ -1,0 +1,224 @@
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "data/dataset.h"
+
+namespace dlner::core {
+namespace {
+
+using data::Genre;
+
+NerConfig SmallConfig() {
+  NerConfig config;
+  config.word_dim = 12;
+  config.hidden_dim = 10;
+  config.input_dropout = 0.1;
+  config.seed = 5;
+  return config;
+}
+
+TrainConfig FastTrain(int epochs) {
+  TrainConfig tc;
+  tc.epochs = epochs;
+  tc.lr = 0.02;
+  return tc;
+}
+
+text::Corpus SmallNews(int n, uint64_t seed) {
+  data::GenOptions opts;
+  opts.num_sentences = n;
+  opts.seed = seed;
+  return data::GenerateCorpus(Genre::kNews, opts);
+}
+
+TEST(ConfigTest, DescribeNamesAllParts) {
+  NerConfig c = SmallConfig();
+  c.use_char_cnn = true;
+  c.use_shape = true;
+  c.encoder = "idcnn";
+  c.decoder = "semicrf";
+  const std::string desc = c.Describe();
+  EXPECT_NE(desc.find("word"), std::string::npos);
+  EXPECT_NE(desc.find("charCNN"), std::string::npos);
+  EXPECT_NE(desc.find("shape"), std::string::npos);
+  EXPECT_NE(desc.find("idcnn"), std::string::npos);
+  EXPECT_NE(desc.find("semicrf"), std::string::npos);
+}
+
+TEST(ConfigTest, SerializationRoundTrip) {
+  NerConfig c = SmallConfig();
+  c.use_char_rnn = true;
+  c.encoder = "transformer";
+  c.idcnn_dilations = {1, 3, 9};
+  c.scheme = "bio";
+  c.seed = 123456789ULL;
+  std::stringstream ss;
+  WriteConfig(ss, c);
+  NerConfig back;
+  ASSERT_TRUE(ReadConfig(ss, &back));
+  EXPECT_EQ(back.use_char_rnn, true);
+  EXPECT_EQ(back.encoder, "transformer");
+  EXPECT_EQ(back.idcnn_dilations, (std::vector<int>{1, 3, 9}));
+  EXPECT_EQ(back.scheme, "bio");
+  EXPECT_EQ(back.seed, 123456789ULL);
+}
+
+TEST(ConfigTest, MalformedStreamFails) {
+  std::stringstream ss;
+  ss << "junk";
+  NerConfig c;
+  EXPECT_FALSE(ReadConfig(ss, &c));
+}
+
+// Every (encoder, decoder) cell of the taxonomy must assemble, produce a
+// finite loss, and predict valid flat spans.
+class TaxonomyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(TaxonomyTest, BuildsAndRuns) {
+  NerConfig config = SmallConfig();
+  config.encoder = std::get<0>(GetParam());
+  config.decoder = std::get<1>(GetParam());
+  text::Corpus corpus = SmallNews(20, 2);
+  NerModel model(config, corpus, data::EntityTypesFor(Genre::kNews));
+  EXPECT_GT(model.ParameterCount(), 0);
+
+  const text::Sentence& s = corpus.sentences[0];
+  Var loss = model.Loss(s, /*training=*/true);
+  EXPECT_TRUE(std::isfinite(loss->value[0]));
+  EXPECT_GT(loss->value[0], 0.0);
+
+  std::vector<text::Span> spans = model.Predict(s.tokens);
+  EXPECT_TRUE(text::SpansAreValid(spans, s.size()));
+  EXPECT_TRUE(text::SpansAreFlat(spans));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, TaxonomyTest,
+    ::testing::Combine(::testing::Values("mlp", "cnn", "idcnn", "bilstm",
+                                         "bigru", "transformer", "brnn"),
+                       ::testing::Values("softmax", "crf", "semicrf", "rnn",
+                                         "pointer", "fofe")),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+TEST(NerModelTest, AllInputFeaturesCompose) {
+  NerConfig config = SmallConfig();
+  config.use_char_cnn = true;
+  config.use_char_rnn = true;
+  config.use_shape = true;
+  config.use_gazetteer = true;
+  text::Corpus corpus = SmallNews(20, 3);
+  data::Gazetteer gaz = data::Gazetteer::FromCorpus(corpus, 1.0, 1);
+  Resources res;
+  res.gazetteer = &gaz;
+  NerModel model(config, corpus, data::EntityTypesFor(Genre::kNews), res);
+  Var loss = model.Loss(corpus.sentences[0]);
+  EXPECT_TRUE(std::isfinite(loss->value[0]));
+}
+
+TEST(NerModelDeathTest, MissingResourceAborts) {
+  NerConfig config = SmallConfig();
+  config.use_gazetteer = true;
+  text::Corpus corpus = SmallNews(5, 4);
+  EXPECT_DEATH(NerModel(config, corpus, data::EntityTypesFor(Genre::kNews)),
+               "gazetteer");
+}
+
+TEST(TrainerTest, LossDecreasesAndF1Improves) {
+  text::Corpus corpus = SmallNews(80, 5);
+  data::DataSplit split = data::SplitCorpus(corpus, 0.7, 0.0, 1);
+  NerConfig config = SmallConfig();
+  NerModel model(config, split.train, data::EntityTypesFor(Genre::kNews));
+
+  const double f1_before = model.Evaluate(split.test).micro.f1();
+  Trainer trainer(&model, FastTrain(6));
+  TrainResult result = trainer.Train(split.train, nullptr);
+  ASSERT_EQ(result.history.size(), 6u);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+  const double f1_after = model.Evaluate(split.test).micro.f1();
+  EXPECT_GT(f1_after, f1_before);
+  EXPECT_GT(f1_after, 0.5);
+}
+
+TEST(TrainerTest, EarlyStoppingHonorsPatience) {
+  text::Corpus corpus = SmallNews(30, 6);
+  NerConfig config = SmallConfig();
+  NerModel model(config, corpus, data::EntityTypesFor(Genre::kNews));
+  TrainConfig tc = FastTrain(50);
+  tc.patience = 2;
+  Trainer trainer(&model, tc);
+  TrainResult result = trainer.Train(corpus, &corpus);
+  // With patience 2 on a tiny corpus the run must stop well before 50.
+  EXPECT_LT(result.history.size(), 50u);
+  EXPECT_GE(result.best_dev_f1, 0.0);
+  EXPECT_GE(result.best_epoch, 0);
+}
+
+TEST(TrainerTest, IncrementalTrainEpochs) {
+  text::Corpus corpus = SmallNews(20, 7);
+  NerConfig config = SmallConfig();
+  NerModel model(config, corpus, data::EntityTypesFor(Genre::kNews));
+  Trainer trainer(&model, FastTrain(1));
+  const double l1 = trainer.TrainEpochs(corpus, 1);
+  const double l2 = trainer.TrainEpochs(corpus, 3);
+  EXPECT_LT(l2, l1);
+}
+
+TEST(PipelineTest, TrainTagAndEvaluate) {
+  text::Corpus corpus = SmallNews(60, 8);
+  data::DataSplit split = data::SplitCorpus(corpus, 0.8, 0.0, 2);
+  auto pipeline =
+      Pipeline::Train(SmallConfig(), FastTrain(5), split.train, nullptr,
+                      data::EntityTypesFor(Genre::kNews));
+  ASSERT_NE(pipeline, nullptr);
+  EXPECT_GT(pipeline->Evaluate(split.test).micro.f1(), 0.4);
+  text::Sentence tagged = pipeline->TagText("Maria Garcia visited Boston .");
+  EXPECT_EQ(tagged.size(), 5);
+}
+
+TEST(PipelineTest, SaveLoadPreservesPredictions) {
+  text::Corpus corpus = SmallNews(40, 9);
+  auto pipeline = Pipeline::Train(SmallConfig(), FastTrain(3), corpus,
+                                  nullptr,
+                                  data::EntityTypesFor(Genre::kNews));
+  const std::string path = ::testing::TempDir() + "/dlner_pipeline.bin";
+  ASSERT_TRUE(pipeline->Save(path));
+  auto loaded = Pipeline::Load(path);
+  ASSERT_NE(loaded, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    const auto& tokens = corpus.sentences[i].tokens;
+    EXPECT_EQ(pipeline->Tag(tokens), loaded->Tag(tokens)) << "sentence " << i;
+  }
+}
+
+TEST(PipelineTest, SaveRefusesExternalResources) {
+  text::Corpus corpus = SmallNews(15, 10);
+  data::Gazetteer gaz = data::Gazetteer::FromCorpus(corpus, 1.0, 1);
+  Resources res;
+  res.gazetteer = &gaz;
+  NerConfig config = SmallConfig();
+  config.use_gazetteer = true;
+  auto pipeline = Pipeline::Train(config, FastTrain(1), corpus, nullptr,
+                                  data::EntityTypesFor(Genre::kNews), res);
+  EXPECT_FALSE(pipeline->Save(::testing::TempDir() + "/nope.bin"));
+}
+
+TEST(PipelineTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  {
+    std::ofstream os(path);
+    os << "not a pipeline";
+  }
+  EXPECT_EQ(Pipeline::Load(path), nullptr);
+  EXPECT_EQ(Pipeline::Load("/nonexistent/file.bin"), nullptr);
+}
+
+}  // namespace
+}  // namespace dlner::core

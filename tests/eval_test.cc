@@ -1,0 +1,178 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dlner::eval {
+namespace {
+
+using text::Span;
+
+TEST(PrfTest, ZeroCountsGiveZeroScores) {
+  Prf prf;
+  EXPECT_EQ(prf.precision(), 0.0);
+  EXPECT_EQ(prf.recall(), 0.0);
+  EXPECT_EQ(prf.f1(), 0.0);
+}
+
+TEST(PrfTest, HandComputedValues) {
+  Prf prf;
+  prf.tp = 6;
+  prf.fp = 2;
+  prf.fn = 4;
+  EXPECT_DOUBLE_EQ(prf.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(prf.recall(), 0.6);
+  EXPECT_NEAR(prf.f1(), 2 * 0.75 * 0.6 / 1.35, 1e-12);
+}
+
+TEST(ExactMatchTest, PerfectPrediction) {
+  ExactMatchEvaluator ev;
+  std::vector<Span> gold = {{0, 2, "PER"}, {3, 4, "LOC"}};
+  ev.Add(gold, gold);
+  ExactResult r = ev.Result();
+  EXPECT_DOUBLE_EQ(r.micro.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(r.macro_f1, 1.0);
+}
+
+TEST(ExactMatchTest, BoundaryErrorIsBothFpAndFn) {
+  ExactMatchEvaluator ev;
+  ev.Add({{0, 2, "PER"}}, {{0, 3, "PER"}});  // off-by-one boundary
+  ExactResult r = ev.Result();
+  EXPECT_EQ(r.micro.tp, 0);
+  EXPECT_EQ(r.micro.fp, 1);
+  EXPECT_EQ(r.micro.fn, 1);
+}
+
+TEST(ExactMatchTest, TypeErrorIsBothFpAndFn) {
+  ExactMatchEvaluator ev;
+  ev.Add({{0, 2, "PER"}}, {{0, 2, "LOC"}});
+  ExactResult r = ev.Result();
+  EXPECT_EQ(r.micro.tp, 0);
+  EXPECT_EQ(r.per_type.at("LOC").fp, 1);
+  EXPECT_EQ(r.per_type.at("PER").fn, 1);
+}
+
+TEST(ExactMatchTest, DuplicatePredictionsNotDoubleCounted) {
+  ExactMatchEvaluator ev;
+  ev.Add({{0, 1, "PER"}}, {{0, 1, "PER"}, {0, 1, "PER"}});
+  ExactResult r = ev.Result();
+  EXPECT_EQ(r.micro.tp, 1);
+  EXPECT_EQ(r.micro.fp, 1);
+  EXPECT_EQ(r.micro.fn, 0);
+}
+
+TEST(ExactMatchTest, MicroVsMacroUnderImbalance) {
+  // Frequent type predicted perfectly, rare type entirely missed: micro F1
+  // stays high, macro F1 collapses toward 0.5 (the Section 2.3.1 contrast).
+  ExactMatchEvaluator ev;
+  for (int i = 0; i < 9; ++i) {
+    ev.Add({{0, 1, "FREQ"}}, {{0, 1, "FREQ"}});
+  }
+  ev.Add({{0, 1, "RARE"}}, {});
+  ExactResult r = ev.Result();
+  EXPECT_GT(r.micro.f1(), 0.9);
+  EXPECT_LT(r.macro_f1, 0.55);
+}
+
+TEST(RelaxedMatchTest, OverlapWithRightTypeCreditsTypeDimension) {
+  RelaxedMatchEvaluator ev;
+  // Overlapping but not exact boundaries; same type.
+  ev.Add({{0, 3, "PER"}}, {{1, 4, "PER"}});
+  RelaxedResult r = ev.Result();
+  EXPECT_EQ(r.type.tp, 1);
+  EXPECT_EQ(r.text.tp, 0);  // boundaries differ
+  EXPECT_GT(r.muc_f1, 0.0);
+  EXPECT_LT(r.muc_f1, 1.0);
+}
+
+TEST(RelaxedMatchTest, ExactBoundariesWrongTypeCreditsTextDimension) {
+  RelaxedMatchEvaluator ev;
+  ev.Add({{0, 2, "PER"}}, {{0, 2, "LOC"}});
+  RelaxedResult r = ev.Result();
+  EXPECT_EQ(r.type.tp, 0);
+  EXPECT_EQ(r.text.tp, 1);
+}
+
+TEST(RelaxedMatchTest, RelaxedNeverBelowExact) {
+  // Any exact match credits both dimensions, so MUC F1 >= exact F1.
+  std::vector<std::vector<Span>> gold = {
+      {{0, 2, "PER"}, {4, 5, "LOC"}},
+      {{1, 3, "ORG"}},
+      {{0, 1, "PER"}},
+  };
+  std::vector<std::vector<Span>> pred = {
+      {{0, 2, "PER"}, {4, 6, "LOC"}},  // 1 exact, 1 overlap
+      {{1, 3, "PER"}},                 // boundary right, type wrong
+      {},
+  };
+  const double exact = EvaluateExact(gold, pred).micro.f1();
+  const double relaxed = EvaluateRelaxed(gold, pred).muc_f1;
+  EXPECT_GE(relaxed, exact);
+}
+
+TEST(RelaxedMatchTest, NoOverlapNoCredit) {
+  RelaxedMatchEvaluator ev;
+  ev.Add({{0, 1, "PER"}}, {{3, 4, "PER"}});
+  RelaxedResult r = ev.Result();
+  EXPECT_EQ(r.type.tp, 0);
+  EXPECT_EQ(r.text.tp, 0);
+}
+
+TEST(BootstrapTest, DegenerateAllCorrectIsTightAtOne) {
+  std::vector<std::vector<Span>> gold(20, {{0, 1, "X"}});
+  Interval ci = BootstrapMicroF1(gold, gold, 200, 5);
+  EXPECT_DOUBLE_EQ(ci.lo, 1.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+TEST(BootstrapTest, IntervalCoversPointEstimate) {
+  std::vector<std::vector<Span>> gold, pred;
+  for (int i = 0; i < 40; ++i) {
+    gold.push_back({{0, 1, "X"}});
+    // 70% correct.
+    if (i % 10 < 7) {
+      pred.push_back({{0, 1, "X"}});
+    } else {
+      pred.push_back({});
+    }
+  }
+  const double point = EvaluateExact(gold, pred).micro.f1();
+  Interval ci = BootstrapMicroF1(gold, pred, 500, 11);
+  EXPECT_LE(ci.lo, point);
+  EXPECT_GE(ci.hi, point);
+  EXPECT_LT(ci.lo, ci.hi);
+}
+
+TEST(SignificanceTest, IdenticalSystemsAreNotSignificant) {
+  std::vector<std::vector<Span>> gold(30, {{0, 1, "X"}});
+  std::vector<std::vector<Span>> pred(30, {{0, 1, "X"}});
+  const double p =
+      ApproximateRandomizationPValue(gold, pred, pred, 200, 3);
+  EXPECT_GT(p, 0.9);  // observed difference is 0: every trial ties it
+}
+
+TEST(SignificanceTest, LargeGapIsSignificant) {
+  // System A perfect, system B always wrong, 60 sentences.
+  std::vector<std::vector<Span>> gold, a, b;
+  for (int i = 0; i < 60; ++i) {
+    gold.push_back({{0, 2, "X"}});
+    a.push_back({{0, 2, "X"}});
+    b.push_back({{1, 2, "X"}});
+  }
+  const double p = ApproximateRandomizationPValue(gold, a, b, 400, 5);
+  EXPECT_LT(p, 0.02);
+}
+
+TEST(SignificanceTest, TinyNoisyGapIsNotSignificant) {
+  // Two systems differing on a single sentence out of 40.
+  std::vector<std::vector<Span>> gold, a, b;
+  for (int i = 0; i < 40; ++i) {
+    gold.push_back({{0, 1, "X"}});
+    a.push_back({{0, 1, "X"}});
+    b.push_back(i == 0 ? std::vector<Span>{} : gold.back());
+  }
+  const double p = ApproximateRandomizationPValue(gold, a, b, 400, 7);
+  EXPECT_GT(p, 0.05);
+}
+
+}  // namespace
+}  // namespace dlner::eval

@@ -1,0 +1,157 @@
+// End-to-end integration tests: generate -> CoNLL round trip -> train ->
+// evaluate -> persist -> restore, across corpus genres and architectures.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "data/dataset.h"
+#include "text/conll.h"
+
+namespace dlner {
+namespace {
+
+using core::NerConfig;
+using core::Pipeline;
+using core::TrainConfig;
+
+NerConfig FastConfig() {
+  NerConfig config;
+  config.word_dim = 14;
+  config.hidden_dim = 12;
+  config.seed = 3;
+  return config;
+}
+
+TrainConfig FastTrain() {
+  TrainConfig tc;
+  tc.epochs = 6;
+  tc.lr = 0.02;
+  return tc;
+}
+
+// Flat genres must be learnable end-to-end through the pipeline facade.
+class GenrePipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GenrePipelineTest, TrainsThroughConllRoundTrip) {
+  const std::string name = GetParam();
+  text::Corpus corpus = data::MakeDataset(name, 140, 11);
+  // Round-trip through the CoNLL interchange format first: what you train
+  // on is exactly what a user would load from disk.
+  std::vector<std::string> types;
+  {
+    std::set<std::string> seen;
+    for (const auto& s : corpus.sentences) {
+      for (const auto& sp : s.spans) seen.insert(sp.type);
+    }
+    types.assign(seen.begin(), seen.end());
+  }
+  text::TagSet tags(types, text::TagScheme::kBioes);
+  const std::string path = ::testing::TempDir() + "/" + name + ".conll";
+  ASSERT_TRUE(text::WriteConllFile(path, corpus, tags));
+  text::Corpus loaded;
+  ASSERT_TRUE(text::ReadConllFile(path, &loaded));
+  ASSERT_EQ(loaded.size(), corpus.size());
+
+  data::DataSplit split = data::SplitCorpus(loaded, 0.75, 0.0, 5);
+  auto pipeline =
+      Pipeline::Train(FastConfig(), FastTrain(), split.train, nullptr, types);
+  const double f1 = pipeline->Evaluate(split.test).micro.f1();
+  EXPECT_GT(f1, 0.45) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Genres, GenrePipelineTest,
+                         ::testing::Values("conll-like", "ontonotes-like",
+                                           "wnut-like", "bio-like"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// Architecture sweep through save/load: a restored pipeline must reproduce
+// the original's predictions exactly for every decoder family.
+class PersistenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PersistenceTest, RestoredModelPredictsIdentically) {
+  NerConfig config = FastConfig();
+  config.decoder = GetParam();
+  text::Corpus corpus = data::MakeDataset("conll-like", 60, 13);
+  auto pipeline = Pipeline::Train(config, FastTrain(), corpus, nullptr,
+                                  data::EntityTypesFor(data::Genre::kNews));
+  const std::string path =
+      ::testing::TempDir() + "/persist_" + GetParam() + ".bin";
+  ASSERT_TRUE(pipeline->Save(path));
+  auto loaded = Pipeline::Load(path);
+  ASSERT_NE(loaded, nullptr);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(loaded->Tag(corpus.sentences[i].tokens),
+              pipeline->Tag(corpus.sentences[i].tokens))
+        << "sentence " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Decoders, PersistenceTest,
+                         ::testing::Values("softmax", "crf", "semicrf", "rnn",
+                                           "pointer", "fofe"),
+                         [](const auto& info) { return info.param; });
+
+TEST(SgnsIntegrationTest, PretrainedVectorsImproveSmallDataModel) {
+  // 60 labeled sentences, 1500 unlabeled: pre-training must help.
+  const auto genre = data::Genre::kNews;
+  text::Corpus small = data::MakeDataset("conll-like", 60, 17);
+  data::GenOptions test_opts;
+  test_opts.num_sentences = 100;
+  test_opts.seed = 18;
+  test_opts.oov_entity_fraction = 0.3;
+  text::Corpus test = data::GenerateCorpus(genre, test_opts);
+
+  NerConfig config = FastConfig();
+  config.word_dim = 16;
+  TrainConfig tc = FastTrain();
+  tc.epochs = 8;
+
+  core::NerModel random_init(config, small,
+                             data::EntityTypesFor(genre));
+  {
+    core::Trainer trainer(&random_init, tc);
+    trainer.Train(small, nullptr);
+  }
+
+  auto unlabeled = data::GenerateUnlabeledText(genre, 1500, 19);
+  embeddings::SkipGramModel::Config sgns_cfg;
+  sgns_cfg.dim = 16;
+  sgns_cfg.epochs = 3;
+  auto sgns = embeddings::SkipGramModel::Train(unlabeled, sgns_cfg);
+  core::Resources res;
+  res.sgns = &sgns;
+  NerConfig pre_config = config;
+  pre_config.seed = 21;
+  core::NerModel pretrained(pre_config, small, data::EntityTypesFor(genre),
+                            res);
+  {
+    core::Trainer trainer(&pretrained, tc);
+    trainer.Train(small, nullptr);
+  }
+  // Pre-trained input should not be (much) worse and is typically better.
+  EXPECT_GT(pretrained.Evaluate(test).micro.f1(),
+            random_init.Evaluate(test).micro.f1() - 0.02);
+}
+
+TEST(SchemeIntegrationTest, AllSchemesLearnTheTask) {
+  text::Corpus corpus = data::MakeDataset("conll-like", 120, 23);
+  data::DataSplit split = data::SplitCorpus(corpus, 0.75, 0.0, 24);
+  for (const std::string scheme : {"io", "bio", "bioes"}) {
+    NerConfig config = FastConfig();
+    config.scheme = scheme;
+    auto pipeline = Pipeline::Train(config, FastTrain(), split.train, nullptr,
+                                    data::EntityTypesFor(data::Genre::kNews));
+    EXPECT_GT(pipeline->Evaluate(split.test).micro.f1(), 0.5) << scheme;
+  }
+}
+
+}  // namespace
+}  // namespace dlner

@@ -1,0 +1,193 @@
+// Property-based invariants over randomized inputs (seed-parameterized):
+//  * tag-scheme encode/decode is the identity on valid flat annotations;
+//  * lenient decoding never crashes and always yields valid flat spans for
+//    arbitrary tag sequences;
+//  * Viterbi optimality: no sampled path scores above the decoded one;
+//  * semi-CRF segmental Viterbi dominates the gold segmentation score;
+//  * CRF posterior marginals are proper distributions and agree with the
+//    sum rule under constrained mass;
+//  * gazetteer annotation is consistent with membership features.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/gazetteer.h"
+#include "data/synthetic.h"
+#include "decoders/crf.h"
+#include "decoders/semicrf.h"
+#include "tensor/ops.h"
+#include "text/tagging.h"
+
+namespace dlner {
+namespace {
+
+using decoders::CrfDecoder;
+using decoders::SemiCrfDecoder;
+using text::Span;
+using text::TagScheme;
+using text::TagSet;
+
+std::vector<Span> RandomFlatSpans(int num_tokens,
+                                  const std::vector<std::string>& types,
+                                  Rng* rng) {
+  std::vector<Span> spans;
+  int pos = 0;
+  while (pos < num_tokens) {
+    if (rng->Bernoulli(0.4)) {
+      const int len = std::min(num_tokens - pos, rng->UniformInt(1, 3));
+      spans.push_back(
+          {pos, pos + len,
+           types[rng->UniformInt(0, static_cast<int>(types.size()) - 1)]});
+      pos += len;
+    }
+    pos += rng->UniformInt(1, 3);
+  }
+  return spans;
+}
+
+class PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropertyTest, SchemeRoundTripOnRandomAnnotations) {
+  Rng rng(1000 + GetParam());
+  const std::vector<std::string> types = {"A", "B", "C"};
+  for (TagScheme scheme :
+       {TagScheme::kBio, TagScheme::kBioes}) {  // IO merges adjacent spans
+    TagSet tags(types, scheme);
+    for (int trial = 0; trial < 20; ++trial) {
+      const int n = rng.UniformInt(1, 25);
+      std::vector<Span> spans = RandomFlatSpans(n, types, &rng);
+      std::vector<Span> back = tags.TagIdsToSpans(tags.SpansToTagIds(spans, n));
+      std::sort(spans.begin(), spans.end());
+      EXPECT_EQ(back, spans);
+    }
+  }
+}
+
+TEST_P(PropertyTest, LenientDecodingOfArbitraryTagSequences) {
+  Rng rng(2000 + GetParam());
+  const std::vector<std::string> types = {"X", "Y"};
+  for (TagScheme scheme :
+       {TagScheme::kIo, TagScheme::kBio, TagScheme::kBioes}) {
+    TagSet tags(types, scheme);
+    for (int trial = 0; trial < 20; ++trial) {
+      const int n = rng.UniformInt(1, 30);
+      std::vector<int> ids(n);
+      for (int& id : ids) id = rng.UniformInt(0, tags.size() - 1);
+      std::vector<Span> spans = tags.TagIdsToSpans(ids);
+      EXPECT_TRUE(text::SpansAreValid(spans, n));
+      EXPECT_TRUE(text::SpansAreFlat(spans));
+    }
+  }
+}
+
+TEST_P(PropertyTest, ViterbiDominatesSampledPaths) {
+  Rng rng(3000 + GetParam());
+  TagSet tags({"P", "Q"}, TagScheme::kIo);  // unconstrained scheme
+  CrfDecoder dec(3, &tags, &rng, /*constrained_decoding=*/false);
+  const int n = rng.UniformInt(2, 8);
+  Tensor enc_t({n, 3});
+  for (int i = 0; i < enc_t.size(); ++i) enc_t[i] = rng.Uniform(-1, 1);
+  Var enc = Constant(std::move(enc_t));
+  Var emissions = dec.Emissions(enc);
+  std::vector<int> best = dec.ViterbiPath(emissions->value);
+  const Float best_score = dec.PathScore(emissions, best)->value[0];
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> path(n);
+    for (int& p : path) p = rng.UniformInt(0, tags.size() - 1);
+    EXPECT_LE(dec.PathScore(emissions, path)->value[0], best_score + 1e-9);
+  }
+}
+
+TEST_P(PropertyTest, ViterbiScoreBelowLogPartition) {
+  // logZ = log sum exp over paths > max path score.
+  Rng rng(3500 + GetParam());
+  TagSet tags({"P"}, TagScheme::kBio);
+  CrfDecoder dec(2, &tags, &rng, false);
+  const int n = rng.UniformInt(2, 10);
+  Tensor enc_t({n, 2});
+  for (int i = 0; i < enc_t.size(); ++i) enc_t[i] = rng.Uniform(-1, 1);
+  Var enc = Constant(std::move(enc_t));
+  Var emissions = dec.Emissions(enc);
+  std::vector<int> best = dec.ViterbiPath(emissions->value);
+  EXPECT_GT(dec.LogPartition(emissions)->value[0],
+            dec.PathScore(emissions, best)->value[0]);
+}
+
+TEST_P(PropertyTest, SemiCrfViterbiDominatesGold) {
+  Rng rng(4000 + GetParam());
+  const std::vector<std::string> types = {"E", "F"};
+  SemiCrfDecoder dec(3, types, 3, &rng);
+  const int n = rng.UniformInt(3, 10);
+  Tensor enc_t({n, 3});
+  for (int i = 0; i < enc_t.size(); ++i) enc_t[i] = rng.Uniform(-1, 1);
+  Var enc = Constant(std::move(enc_t));
+
+  // Random gold segmentation with spans of length <= 3.
+  text::Sentence gold;
+  for (int t = 0; t < n; ++t) gold.tokens.push_back("w");
+  gold.spans = RandomFlatSpans(n, types, &rng);
+  for (Span& sp : gold.spans) sp.end = std::min(sp.end, sp.start + 3);
+
+  auto gold_segments = dec.GoldSegmentation(gold);
+  const Float gold_score =
+      dec.SegmentationScore(enc, gold_segments)->value[0];
+
+  // The decoded segmentation's score: reconstruct via SegmentationScore of
+  // the predicted spans (converted back to a full segmentation).
+  text::Sentence predicted = gold;
+  predicted.spans = dec.Predict(enc);
+  const Float best_score =
+      dec.SegmentationScore(enc, dec.GoldSegmentation(predicted))->value[0];
+  EXPECT_GE(best_score, gold_score - 1e-9);
+}
+
+TEST_P(PropertyTest, CrfMarginalsAreDistributions) {
+  Rng rng(5000 + GetParam());
+  TagSet tags({"A", "B", "C"}, TagScheme::kBioes);
+  CrfDecoder dec(4, &tags, &rng);
+  const int n = rng.UniformInt(1, 12);
+  Tensor enc_t({n, 4});
+  for (int i = 0; i < enc_t.size(); ++i) enc_t[i] = rng.Uniform(-2, 2);
+  Var enc = Constant(std::move(enc_t));
+  Tensor marginals = dec.Marginals(dec.Emissions(enc)->value);
+  for (int t = 0; t < n; ++t) {
+    Float row = 0.0;
+    for (int k = 0; k < tags.size(); ++k) {
+      EXPECT_GE(marginals.at(t, k), -1e-12);
+      EXPECT_LE(marginals.at(t, k), 1.0 + 1e-9);
+      row += marginals.at(t, k);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST_P(PropertyTest, GazetteerAnnotationImpliesMembershipFeatures) {
+  Rng rng(6000 + GetParam());
+  data::GenOptions opts;
+  opts.num_sentences = 30;
+  opts.seed = 600 + GetParam();
+  text::Corpus corpus = data::GenerateCorpus(data::Genre::kNews, opts);
+  data::Gazetteer gaz = data::Gazetteer::FromCorpus(corpus, 0.7, GetParam());
+  if (gaz.size() == 0) return;
+  for (const auto& s : corpus.sentences) {
+    auto spans = gaz.Annotate(s.tokens);
+    auto feats = gaz.MatchFeatures(s.tokens);
+    // Every annotated token must carry the corresponding type feature.
+    for (const Span& sp : spans) {
+      int type_idx = -1;
+      for (size_t k = 0; k < gaz.types().size(); ++k) {
+        if (gaz.types()[k] == sp.type) type_idx = static_cast<int>(k);
+      }
+      ASSERT_GE(type_idx, 0);
+      for (int t = sp.start; t < sp.end; ++t) {
+        EXPECT_EQ(feats[t][type_idx], 1.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dlner

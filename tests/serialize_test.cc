@@ -1,0 +1,100 @@
+#include "tensor/serialize.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tensor/nn.h"
+
+namespace dlner {
+namespace {
+
+TEST(SerializeTest, TensorRoundTrip) {
+  Tensor t({2, 3}, {1.5, -2.0, 0.0, 3.25, 4.0, -5.5});
+  std::stringstream ss;
+  SaveTensor(ss, t);
+  Tensor back;
+  ASSERT_TRUE(LoadTensor(ss, &back));
+  ASSERT_TRUE(back.SameShape(t));
+  for (int i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(back[i], t[i]);
+}
+
+TEST(SerializeTest, ParameterRoundTrip) {
+  Rng rng(1);
+  Linear lin(4, 3, &rng, "lin");
+  std::vector<Var> params = lin.Parameters();
+  std::stringstream ss;
+  SaveParameters(ss, params);
+
+  // Build a structurally identical module and restore into it.
+  Rng rng2(999);
+  Linear lin2(4, 3, &rng2, "lin");
+  std::vector<Var> params2 = lin2.Parameters();
+  ASSERT_TRUE(LoadParameters(ss, params2));
+  for (size_t k = 0; k < params.size(); ++k) {
+    for (int i = 0; i < params[k]->value.size(); ++i) {
+      EXPECT_DOUBLE_EQ(params2[k]->value[i], params[k]->value[i]);
+    }
+  }
+}
+
+TEST(SerializeTest, ShapeMismatchFails) {
+  Rng rng(2);
+  Linear a(4, 3, &rng, "lin");
+  std::stringstream ss;
+  SaveParameters(ss, a.Parameters());
+  Linear b(4, 5, &rng, "lin");  // different out_dim
+  EXPECT_FALSE(LoadParameters(ss, b.Parameters()));
+}
+
+TEST(SerializeTest, MissingNameFails) {
+  Rng rng(3);
+  Linear a(2, 2, &rng, "alpha");
+  std::stringstream ss;
+  SaveParameters(ss, a.Parameters());
+  Linear b(2, 2, &rng, "beta");
+  EXPECT_FALSE(LoadParameters(ss, b.Parameters()));
+}
+
+TEST(SerializeTest, ExtraSavedEntriesTolerated) {
+  Rng rng(4);
+  Linear a(2, 2, &rng, "a");
+  Linear extra(2, 2, &rng, "extra");
+  std::vector<Var> all = JoinParameters({&a, &extra});
+  std::stringstream ss;
+  SaveParameters(ss, all);
+  // Restoring only `a` succeeds even though the stream holds more.
+  Rng rng2(5);
+  Linear a2(2, 2, &rng2, "a");
+  EXPECT_TRUE(LoadParameters(ss, a2.Parameters()));
+}
+
+TEST(SerializeTest, GarbageInputFails) {
+  std::stringstream ss;
+  ss << "this is not a checkpoint";
+  Rng rng(6);
+  Linear a(2, 2, &rng, "a");
+  EXPECT_FALSE(LoadParameters(ss, a.Parameters()));
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(7);
+  Linear lin(3, 3, &rng, "lin");
+  const std::string path = ::testing::TempDir() + "/dlner_params.bin";
+  ASSERT_TRUE(SaveParametersToFile(path, lin.Parameters()));
+  Rng rng2(8);
+  Linear lin2(3, 3, &rng2, "lin");
+  ASSERT_TRUE(LoadParametersFromFile(path, lin2.Parameters()));
+  EXPECT_DOUBLE_EQ(lin2.Parameters()[0]->value[0],
+                   lin.Parameters()[0]->value[0]);
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  Rng rng(9);
+  Linear lin(2, 2, &rng, "lin");
+  EXPECT_FALSE(LoadParametersFromFile("/nonexistent/dir/x.bin",
+                                      lin.Parameters()));
+}
+
+}  // namespace
+}  // namespace dlner

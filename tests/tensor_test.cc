@@ -1,0 +1,89 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace dlner {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.dim(), 0);
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TensorTest, ZeroFilledConstruction) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0);
+}
+
+TEST(TensorTest, ExplicitData) {
+  Tensor t({2, 2}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(t.at(0, 0), 1.0);
+  EXPECT_EQ(t.at(0, 1), 2.0);
+  EXPECT_EQ(t.at(1, 0), 3.0);
+  EXPECT_EQ(t.at(1, 1), 4.0);
+}
+
+TEST(TensorTest, RowMajorLayout) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0;
+  EXPECT_EQ(t[5], 7.0);
+  t.at(0, 1) = 3.0;
+  EXPECT_EQ(t[1], 3.0);
+}
+
+TEST(TensorTest, FromVector) {
+  Tensor t = Tensor::FromVector({1.0, 2.0, 5.0});
+  EXPECT_EQ(t.dim(), 1);
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(t[2], 5.0);
+}
+
+TEST(TensorTest, FullFill) {
+  Tensor t = Tensor::Full({3}, 2.5);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(t[i], 2.5);
+  t.Fill(-1.0);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(t[i], -1.0);
+}
+
+TEST(TensorTest, AccumulateFrom) {
+  Tensor a = Tensor::FromVector({1.0, 2.0});
+  Tensor b = Tensor::FromVector({10.0, 20.0});
+  a.AccumulateFrom(b);
+  EXPECT_EQ(a[0], 11.0);
+  EXPECT_EQ(a[1], 22.0);
+}
+
+TEST(TensorTest, Norm) {
+  Tensor t = Tensor::FromVector({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(t.Norm(), 5.0);
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).ShapeString(), "[2x3]");
+  EXPECT_EQ(Tensor({4}).ShapeString(), "[4]");
+}
+
+TEST(TensorTest, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).SameShape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).SameShape(Tensor({3, 2})));
+  EXPECT_FALSE(Tensor({6}).SameShape(Tensor({2, 3})));
+}
+
+TEST(TensorDeathTest, OutOfRangeAccessAborts) {
+  Tensor t({2, 2});
+  EXPECT_DEATH(t.at(2, 0), "DLNER_CHECK");
+  EXPECT_DEATH(t[4], "DLNER_CHECK");
+}
+
+TEST(TensorDeathTest, MismatchedDataSizeAborts) {
+  EXPECT_DEATH(Tensor({2, 2}, {1.0}), "DLNER_CHECK");
+}
+
+}  // namespace
+}  // namespace dlner

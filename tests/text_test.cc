@@ -1,0 +1,287 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "text/conll.h"
+#include "text/tagging.h"
+#include "text/types.h"
+#include "text/vocab.h"
+
+namespace dlner::text {
+namespace {
+
+TEST(SpanTest, ValidityChecks) {
+  EXPECT_TRUE(SpansAreValid({{0, 2, "PER"}, {3, 4, "LOC"}}, 4));
+  EXPECT_FALSE(SpansAreValid({{0, 5, "PER"}}, 4));   // end out of range
+  EXPECT_FALSE(SpansAreValid({{2, 2, "PER"}}, 4));   // empty span
+  EXPECT_FALSE(SpansAreValid({{-1, 2, "PER"}}, 4));  // negative start
+  EXPECT_FALSE(SpansAreValid({{0, 1, ""}}, 4));      // empty type
+}
+
+TEST(SpanTest, FlatnessChecks) {
+  EXPECT_TRUE(SpansAreFlat({{0, 2, "A"}, {2, 4, "B"}}));
+  EXPECT_FALSE(SpansAreFlat({{0, 3, "A"}, {2, 4, "B"}}));
+  EXPECT_FALSE(SpansAreFlat({{0, 4, "A"}, {1, 2, "B"}}));  // nested
+  EXPECT_TRUE(SpansAreFlat({}));
+}
+
+TEST(CorpusTest, Counts) {
+  Corpus c;
+  c.sentences.push_back({{"a", "b", "c"}, {{0, 1, "X"}}});
+  c.sentences.push_back({{"d", "e"}, {{0, 2, "Y"}, {1, 2, "X"}}});
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_EQ(c.TokenCount(), 5);
+  EXPECT_EQ(c.EntityCount(), 3);
+}
+
+TEST(VocabTest, UnkIsIdZero) {
+  Vocabulary v;
+  EXPECT_EQ(v.Id("anything"), Vocabulary::kUnkId);
+  EXPECT_EQ(v.TokenOf(0), Vocabulary::kUnkToken);
+}
+
+TEST(VocabTest, AddAndLookup) {
+  Vocabulary v;
+  int cat = v.Add("cat");
+  int dog = v.Add("dog");
+  EXPECT_NE(cat, dog);
+  EXPECT_EQ(v.Id("cat"), cat);
+  EXPECT_EQ(v.Id("dog"), dog);
+  EXPECT_EQ(v.Add("cat"), cat);  // re-adding returns the same id
+  EXPECT_EQ(v.CountOf(cat), 2);
+  EXPECT_EQ(v.size(), 3);
+}
+
+TEST(VocabTest, FreezeWithMinCount) {
+  Vocabulary v;
+  v.Add("frequent");
+  v.Add("frequent");
+  v.Add("frequent");
+  v.Add("rare");
+  v.Freeze(/*min_count=*/2);
+  EXPECT_TRUE(v.Contains("frequent"));
+  EXPECT_FALSE(v.Contains("rare"));
+  EXPECT_EQ(v.Id("rare"), Vocabulary::kUnkId);
+  EXPECT_EQ(v.size(), 2);
+}
+
+TEST(VocabTest, FromCorpusAndEncode) {
+  Corpus c;
+  c.sentences.push_back({{"the", "cat", "sat"}, {}});
+  c.sentences.push_back({{"the", "dog", "ran"}, {}});
+  Vocabulary v = Vocabulary::FromCorpus(c);
+  EXPECT_TRUE(v.frozen());
+  std::vector<int> ids = v.Encode({"the", "unseen", "dog"});
+  EXPECT_NE(ids[0], Vocabulary::kUnkId);
+  EXPECT_EQ(ids[1], Vocabulary::kUnkId);
+  EXPECT_NE(ids[2], Vocabulary::kUnkId);
+}
+
+TEST(VocabTest, CharVocabulary) {
+  Corpus c;
+  c.sentences.push_back({{"ab", "ba"}, {}});
+  Vocabulary v = Vocabulary::CharsFromCorpus(c);
+  EXPECT_EQ(v.size(), 3);  // unk, a, b
+  std::vector<int> ids = v.EncodeChars("abz");
+  EXPECT_NE(ids[0], Vocabulary::kUnkId);
+  EXPECT_NE(ids[1], Vocabulary::kUnkId);
+  EXPECT_EQ(ids[2], Vocabulary::kUnkId);
+}
+
+TEST(VocabDeathTest, AddAfterFreezeAborts) {
+  Vocabulary v;
+  v.Add("x");
+  v.Freeze();
+  EXPECT_DEATH(v.Add("y"), "Freeze");
+}
+
+// --- Tagging schemes ---
+
+TEST(TagSetTest, SizesPerScheme) {
+  std::vector<std::string> types = {"PER", "LOC"};
+  EXPECT_EQ(TagSet(types, TagScheme::kIo).size(), 3);
+  EXPECT_EQ(TagSet(types, TagScheme::kBio).size(), 5);
+  EXPECT_EQ(TagSet(types, TagScheme::kBioes).size(), 9);
+}
+
+TEST(TagSetTest, SchemeStringRoundTrip) {
+  for (auto s : {TagScheme::kIo, TagScheme::kBio, TagScheme::kBioes}) {
+    EXPECT_EQ(TagSchemeFromString(TagSchemeToString(s)), s);
+  }
+}
+
+class SchemeRoundTripTest : public ::testing::TestWithParam<TagScheme> {};
+
+TEST_P(SchemeRoundTripTest, SpansSurviveEncodeDecode) {
+  TagSet tags({"PER", "LOC", "ORG"}, GetParam());
+  std::vector<Span> spans = {{0, 3, "PER"}, {4, 5, "LOC"}, {6, 9, "ORG"}};
+  std::vector<int> ids = tags.SpansToTagIds(spans, 10);
+  std::vector<Span> back = tags.TagIdsToSpans(ids);
+  ASSERT_EQ(back.size(), spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) EXPECT_EQ(back[i], spans[i]);
+}
+
+TEST_P(SchemeRoundTripTest, AdjacentSameTypeSpans) {
+  // Two adjacent PER spans: IO cannot distinguish them (known scheme
+  // limitation); BIO and BIOES must keep them separate.
+  TagSet tags({"PER"}, GetParam());
+  std::vector<Span> spans = {{0, 2, "PER"}, {2, 4, "PER"}};
+  std::vector<int> ids = tags.SpansToTagIds(spans, 4);
+  std::vector<Span> back = tags.TagIdsToSpans(ids);
+  if (GetParam() == TagScheme::kIo) {
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0], (Span{0, 4, "PER"}));
+  } else {
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0], spans[0]);
+    EXPECT_EQ(back[1], spans[1]);
+  }
+}
+
+TEST_P(SchemeRoundTripTest, EmptyAndFullCoverage) {
+  TagSet tags({"X"}, GetParam());
+  EXPECT_TRUE(tags.TagIdsToSpans(tags.SpansToTagIds({}, 5)).empty());
+  std::vector<Span> all = {{0, 5, "X"}};
+  EXPECT_EQ(tags.TagIdsToSpans(tags.SpansToTagIds(all, 5)), all);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeRoundTripTest,
+                         ::testing::Values(TagScheme::kIo, TagScheme::kBio,
+                                           TagScheme::kBioes),
+                         [](const auto& info) {
+                           return TagSchemeToString(info.param);
+                         });
+
+TEST(TagSetTest, BioesSingletonUsesS) {
+  TagSet tags({"PER"}, TagScheme::kBioes);
+  std::vector<int> ids = tags.SpansToTagIds({{1, 2, "PER"}}, 3);
+  EXPECT_EQ(tags.TagOf(ids[1]), "S-PER");
+}
+
+TEST(TagSetTest, LenientDecodingOfInvalidSequences) {
+  TagSet tags({"PER", "LOC"}, TagScheme::kBio);
+  // O I-PER I-PER O : stray I- run becomes a span.
+  std::vector<int> ids = {0, tags.IdOf("I-PER"), tags.IdOf("I-PER"), 0};
+  std::vector<Span> spans = tags.TagIdsToSpans(ids);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (Span{1, 3, "PER"}));
+
+  // B-PER I-LOC : type change splits the span.
+  ids = {tags.IdOf("B-PER"), tags.IdOf("I-LOC")};
+  spans = tags.TagIdsToSpans(ids);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0], (Span{0, 1, "PER"}));
+  EXPECT_EQ(spans[1], (Span{1, 2, "LOC"}));
+}
+
+TEST(TagSetTest, LenientBioesStrayEnd) {
+  TagSet tags({"PER"}, TagScheme::kBioes);
+  std::vector<int> ids = {0, tags.IdOf("E-PER"), 0};
+  std::vector<Span> spans = tags.TagIdsToSpans(ids);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (Span{1, 2, "PER"}));
+}
+
+TEST(TagSetTest, UnterminatedEntityClosedAtEnd) {
+  TagSet tags({"PER"}, TagScheme::kBioes);
+  std::vector<int> ids = {tags.IdOf("B-PER"), tags.IdOf("I-PER")};
+  std::vector<Span> spans = tags.TagIdsToSpans(ids);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (Span{0, 2, "PER"}));
+}
+
+TEST(TagSetTest, BioTransitionRules) {
+  TagSet tags({"PER", "LOC"}, TagScheme::kBio);
+  const int o = tags.IdOf("O");
+  const int b_per = tags.IdOf("B-PER");
+  const int i_per = tags.IdOf("I-PER");
+  const int i_loc = tags.IdOf("I-LOC");
+  EXPECT_TRUE(tags.IsValidTransition(b_per, i_per));
+  EXPECT_TRUE(tags.IsValidTransition(i_per, i_per));
+  EXPECT_FALSE(tags.IsValidTransition(o, i_per));
+  EXPECT_FALSE(tags.IsValidTransition(b_per, i_loc));
+  EXPECT_TRUE(tags.IsValidTransition(i_per, o));
+  EXPECT_FALSE(tags.IsValidStart(i_per));
+  EXPECT_TRUE(tags.IsValidStart(b_per));
+  EXPECT_TRUE(tags.IsValidEnd(i_per));
+}
+
+TEST(TagSetTest, BioesTransitionRules) {
+  TagSet tags({"PER", "LOC"}, TagScheme::kBioes);
+  const int o = tags.IdOf("O");
+  const int b = tags.IdOf("B-PER");
+  const int i = tags.IdOf("I-PER");
+  const int e = tags.IdOf("E-PER");
+  const int s = tags.IdOf("S-PER");
+  const int e_loc = tags.IdOf("E-LOC");
+  EXPECT_TRUE(tags.IsValidTransition(b, i));
+  EXPECT_TRUE(tags.IsValidTransition(b, e));
+  EXPECT_FALSE(tags.IsValidTransition(b, o));      // open entity must continue
+  EXPECT_FALSE(tags.IsValidTransition(b, b));
+  EXPECT_FALSE(tags.IsValidTransition(i, e_loc));  // type mismatch
+  EXPECT_TRUE(tags.IsValidTransition(e, o));
+  EXPECT_TRUE(tags.IsValidTransition(e, b));
+  EXPECT_TRUE(tags.IsValidTransition(s, s));
+  EXPECT_FALSE(tags.IsValidTransition(o, i));
+  EXPECT_FALSE(tags.IsValidEnd(b));
+  EXPECT_TRUE(tags.IsValidEnd(e));
+  EXPECT_TRUE(tags.IsValidEnd(s));
+}
+
+TEST(TagSetDeathTest, OverlappingSpansAbort) {
+  TagSet tags({"PER"}, TagScheme::kBio);
+  EXPECT_DEATH(tags.SpansToTagIds({{0, 3, "PER"}, {2, 4, "PER"}}, 5), "flat");
+}
+
+TEST(TagSetDeathTest, UnknownTagAborts) {
+  TagSet tags({"PER"}, TagScheme::kBio);
+  EXPECT_DEATH(tags.IdOf("B-XYZ"), "unknown tag");
+}
+
+TEST(StringTagsTest, MixedPrefixDecoding) {
+  std::vector<Span> spans = SpansFromStringTags(
+      {"B-PER", "E-PER", "O", "S-LOC", "I-ORG", "I-ORG"});
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0], (Span{0, 2, "PER"}));
+  EXPECT_EQ(spans[1], (Span{3, 4, "LOC"}));
+  EXPECT_EQ(spans[2], (Span{4, 6, "ORG"}));
+}
+
+// --- CoNLL I/O ---
+
+TEST(ConllTest, RoundTrip) {
+  Corpus c;
+  c.sentences.push_back(
+      {{"John", "Smith", "visited", "Paris", "."},
+       {{0, 2, "PER"}, {3, 4, "LOC"}}});
+  c.sentences.push_back({{"Nothing", "here", "."}, {}});
+  TagSet tags({"PER", "LOC"}, TagScheme::kBioes);
+
+  std::stringstream ss;
+  WriteConll(ss, c, tags);
+  Corpus back;
+  ASSERT_TRUE(ReadConll(ss, &back));
+  ASSERT_EQ(back.size(), 2);
+  EXPECT_EQ(back.sentences[0].tokens, c.sentences[0].tokens);
+  EXPECT_EQ(back.sentences[0].spans, c.sentences[0].spans);
+  EXPECT_TRUE(back.sentences[1].spans.empty());
+}
+
+TEST(ConllTest, MalformedLineFails) {
+  std::stringstream ss;
+  ss << "token_without_tag\n";
+  Corpus c;
+  EXPECT_FALSE(ReadConll(ss, &c));
+}
+
+TEST(ConllTest, MissingTrailingBlankLineStillParses) {
+  std::stringstream ss;
+  ss << "Rome S-LOC";  // no trailing newline or blank line
+  Corpus c;
+  ASSERT_TRUE(ReadConll(ss, &c));
+  ASSERT_EQ(c.size(), 1);
+  EXPECT_EQ(c.sentences[0].spans[0], (Span{0, 1, "LOC"}));
+}
+
+}  // namespace
+}  // namespace dlner::text

@@ -1,0 +1,260 @@
+// dlner — command-line front end of the toolkit (the survey Section 5.2
+// vision: "an easy-to-use NER toolkit ... with some standardized modules:
+// data-processing, input representation, context encoder, tag decoder, and
+// effectiveness measure").
+//
+// Subcommands:
+//   dlner generate --dataset conll-like --n 400 --seed 1 --out train.conll
+//   dlner train    --train train.conll --model model.bin
+//                  [--dev dev.conll] [--encoder bilstm] [--decoder crf]
+//                  [--scheme bioes] [--char-cnn] [--char-rnn] [--shape]
+//                  [--epochs 12] [--lr 0.015] [--word-dropout 0.2]
+//   dlner tag      --model model.bin --text "John Smith visited Paris ."
+//   dlner tag      --model model.bin --in raw.conll --out tagged.conll
+//   dlner eval     --model model.bin --test test.conll [--relaxed]
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/pipeline.h"
+#include "data/dataset.h"
+#include "text/conll.h"
+
+namespace {
+
+using namespace dlner;
+
+// Minimal flag parser: --key value and boolean --key.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+  std::string Get(const std::string& key, const std::string& dflt = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  int GetInt(const std::string& key, int dflt) const {
+    return Has(key) ? std::atoi(Get(key).c_str()) : dflt;
+  }
+  double GetDouble(const std::string& key, double dflt) const {
+    return Has(key) ? std::atof(Get(key).c_str()) : dflt;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<std::string> EntityTypesOf(const text::Corpus& corpus) {
+  std::set<std::string> types;
+  for (const auto& s : corpus.sentences) {
+    for (const auto& sp : s.spans) types.insert(sp.type);
+  }
+  return {types.begin(), types.end()};
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string name = args.Get("dataset", "conll-like");
+  const int n = args.GetInt("n", 400);
+  const uint64_t seed = args.GetInt("seed", 1);
+  const std::string out = args.Get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 1;
+  }
+  text::Corpus corpus = data::MakeDataset(name, n, seed);
+  // Nested corpora cannot be written as flat tag sequences; keep the
+  // outermost layer for CoNLL output.
+  for (auto& s : corpus.sentences) {
+    if (!text::SpansAreFlat(s.spans)) {
+      std::sort(s.spans.begin(), s.spans.end(),
+                [](const text::Span& a, const text::Span& b) {
+                  return (a.end - a.start) > (b.end - b.start);
+                });
+      std::vector<text::Span> flat;
+      for (const text::Span& sp : s.spans) {
+        bool overlaps = false;
+        for (const text::Span& kept : flat) {
+          if (sp.start < kept.end && kept.start < sp.end) overlaps = true;
+        }
+        if (!overlaps) flat.push_back(sp);
+      }
+      std::sort(flat.begin(), flat.end());
+      s.spans = std::move(flat);
+    }
+  }
+  text::TagSet tags(EntityTypesOf(corpus),
+                    text::TagSchemeFromString(args.Get("scheme", "bioes")));
+  if (!text::WriteConllFile(out, corpus, tags)) {
+    std::fprintf(stderr, "generate: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %d sentences to %s\n", corpus.size(), out.c_str());
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  const std::string train_path = args.Get("train");
+  const std::string model_path = args.Get("model");
+  if (train_path.empty() || model_path.empty()) {
+    std::fprintf(stderr, "train: --train and --model are required\n");
+    return 1;
+  }
+  text::Corpus train;
+  if (!text::ReadConllFile(train_path, &train)) {
+    std::fprintf(stderr, "train: cannot read %s\n", train_path.c_str());
+    return 1;
+  }
+  text::Corpus dev;
+  const bool has_dev =
+      args.Has("dev") && text::ReadConllFile(args.Get("dev"), &dev);
+
+  core::NerConfig config;
+  config.encoder = args.Get("encoder", "bilstm");
+  config.decoder = args.Get("decoder", "crf");
+  config.scheme = args.Get("scheme", "bioes");
+  config.use_char_cnn = args.Has("char-cnn");
+  config.use_char_rnn = args.Has("char-rnn");
+  config.use_shape = args.Has("shape");
+  config.word_dim = args.GetInt("word-dim", 24);
+  config.hidden_dim = args.GetInt("hidden-dim", 24);
+  config.word_unk_dropout = args.GetDouble("word-dropout", 0.2);
+  config.seed = args.GetInt("seed", 42);
+
+  core::TrainConfig tc;
+  tc.epochs = args.GetInt("epochs", 12);
+  tc.lr = args.GetDouble("lr", 0.015);
+  tc.patience = has_dev ? args.GetInt("patience", 4) : 0;
+  tc.verbose = args.Has("verbose");
+
+  std::printf("training %s on %d sentences...\n",
+              config.Describe().c_str(), train.size());
+  auto pipeline = core::Pipeline::Train(config, tc, train,
+                                        has_dev ? &dev : nullptr,
+                                        EntityTypesOf(train));
+  if (has_dev) {
+    std::printf("best dev F1 = %.3f\n", pipeline->train_result().best_dev_f1);
+  }
+  if (!pipeline->Save(model_path)) {
+    std::fprintf(stderr, "train: cannot save %s\n", model_path.c_str());
+    return 1;
+  }
+  std::printf("model saved to %s\n", model_path.c_str());
+  return 0;
+}
+
+int CmdTag(const Args& args) {
+  auto pipeline = core::Pipeline::Load(args.Get("model"));
+  if (pipeline == nullptr) {
+    std::fprintf(stderr, "tag: cannot load model %s\n",
+                 args.Get("model").c_str());
+    return 1;
+  }
+  if (args.Has("text")) {
+    text::Sentence tagged = pipeline->TagText(args.Get("text"));
+    for (int t = 0; t < tagged.size(); ++t) std::printf("%s ",
+                                                        tagged.tokens[t].c_str());
+    std::printf("\n");
+    for (const text::Span& sp : tagged.spans) {
+      std::printf("  [%d,%d) %-10s", sp.start, sp.end, sp.type.c_str());
+      for (int t = sp.start; t < sp.end; ++t) {
+        std::printf(" %s", tagged.tokens[t].c_str());
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
+  text::Corpus input;
+  if (!args.Has("in") || !text::ReadConllFile(args.Get("in"), &input)) {
+    std::fprintf(stderr, "tag: need --text or a readable --in file\n");
+    return 1;
+  }
+  for (auto& s : input.sentences) s.spans = pipeline->Tag(s.tokens);
+  text::TagSet tags(pipeline->model()->entity_types(),
+                    text::TagSchemeFromString(
+                        pipeline->model()->config().scheme));
+  const std::string out = args.Get("out", args.Get("in") + ".tagged");
+  if (!text::WriteConllFile(out, input, tags)) {
+    std::fprintf(stderr, "tag: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("tagged %d sentences -> %s\n", input.size(), out.c_str());
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  auto pipeline = core::Pipeline::Load(args.Get("model"));
+  if (pipeline == nullptr) {
+    std::fprintf(stderr, "eval: cannot load model %s\n",
+                 args.Get("model").c_str());
+    return 1;
+  }
+  text::Corpus test;
+  if (!text::ReadConllFile(args.Get("test"), &test)) {
+    std::fprintf(stderr, "eval: cannot read %s\n", args.Get("test").c_str());
+    return 1;
+  }
+  eval::ExactResult result = pipeline->Evaluate(test);
+  std::printf("exact match: P=%.3f R=%.3f micro-F1=%.3f macro-F1=%.3f\n",
+              result.micro.precision(), result.micro.recall(),
+              result.micro.f1(), result.macro_f1);
+  for (const auto& [type, prf] : result.per_type) {
+    std::printf("  %-14s P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d fn=%d)\n",
+                type.c_str(), prf.precision(), prf.recall(), prf.f1(),
+                prf.tp, prf.fp, prf.fn);
+  }
+  if (args.Has("relaxed")) {
+    eval::RelaxedMatchEvaluator relaxed;
+    for (const auto& s : test.sentences) {
+      relaxed.Add(s.spans, pipeline->Tag(s.tokens));
+    }
+    eval::RelaxedResult r = relaxed.Result();
+    std::printf("relaxed (MUC): type-F1=%.3f text-F1=%.3f muc-F1=%.3f\n",
+                r.type.f1(), r.text.f1(), r.muc_f1);
+  }
+  return 0;
+}
+
+void Usage() {
+  std::printf(
+      "dlner <generate|train|tag|eval> [flags]\n"
+      "  generate --dataset NAME --n N --seed S --out FILE [--scheme bioes]\n"
+      "  train    --train FILE --model FILE [--dev FILE] [--encoder E]\n"
+      "           [--decoder D] [--char-cnn] [--char-rnn] [--shape]\n"
+      "           [--epochs N] [--lr X] [--word-dropout X] [--verbose]\n"
+      "  tag      --model FILE (--text \"...\" | --in FILE [--out FILE])\n"
+      "  eval     --model FILE --test FILE [--relaxed]\n"
+      "datasets: conll-like ontonotes-like wnut-like fine-grained-like\n"
+      "          nested-like bio-like\n"
+      "encoders: mlp cnn idcnn bilstm bigru transformer brnn\n"
+      "decoders: softmax crf semicrf rnn pointer fofe\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  Args args(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "train") return CmdTrain(args);
+  if (cmd == "tag") return CmdTag(args);
+  if (cmd == "eval") return CmdEval(args);
+  Usage();
+  return 1;
+}
