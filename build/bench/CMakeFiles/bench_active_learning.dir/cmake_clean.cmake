@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_active_learning.dir/bench_active_learning.cc.o"
+  "CMakeFiles/bench_active_learning.dir/bench_active_learning.cc.o.d"
+  "bench_active_learning"
+  "bench_active_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_active_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complexity_crossover.dir/bench_complexity_crossover.cc.o"
+  "CMakeFiles/bench_complexity_crossover.dir/bench_complexity_crossover.cc.o.d"
+  "bench_complexity_crossover"
+  "bench_complexity_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complexity_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

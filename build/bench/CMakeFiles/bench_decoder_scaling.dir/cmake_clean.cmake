@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decoder_scaling.dir/bench_decoder_scaling.cc.o"
+  "CMakeFiles/bench_decoder_scaling.dir/bench_decoder_scaling.cc.o.d"
+  "bench_decoder_scaling"
+  "bench_decoder_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decoder_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metrics_protocol.dir/bench_metrics_protocol.cc.o"
+  "CMakeFiles/bench_metrics_protocol.dir/bench_metrics_protocol.cc.o.d"
+  "bench_metrics_protocol"
+  "bench_metrics_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metrics_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multitask_lm.dir/bench_multitask_lm.cc.o"
+  "CMakeFiles/bench_multitask_lm.dir/bench_multitask_lm.cc.o.d"
+  "bench_multitask_lm"
+  "bench_multitask_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multitask_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_ner.dir/bench_nested_ner.cc.o"
+  "CMakeFiles/bench_nested_ner.dir/bench_nested_ner.cc.o.d"
+  "bench_nested_ner"
+  "bench_nested_ner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_ner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

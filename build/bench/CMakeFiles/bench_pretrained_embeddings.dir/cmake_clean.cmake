@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pretrained_embeddings.dir/bench_pretrained_embeddings.cc.o"
+  "CMakeFiles/bench_pretrained_embeddings.dir/bench_pretrained_embeddings.cc.o.d"
+  "bench_pretrained_embeddings"
+  "bench_pretrained_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pretrained_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rl_distant.dir/bench_rl_distant.cc.o"
+  "CMakeFiles/bench_rl_distant.dir/bench_rl_distant.cc.o.d"
+  "bench_rl_distant"
+  "bench_rl_distant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rl_distant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

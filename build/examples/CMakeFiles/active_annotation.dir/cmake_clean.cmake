@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_annotation.dir/active_annotation.cpp.o"
+  "CMakeFiles/active_annotation.dir/active_annotation.cpp.o.d"
+  "active_annotation"
+  "active_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundary_detection.dir/boundary_detection.cpp.o"
+  "CMakeFiles/boundary_detection.dir/boundary_detection.cpp.o.d"
+  "boundary_detection"
+  "boundary_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundary_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

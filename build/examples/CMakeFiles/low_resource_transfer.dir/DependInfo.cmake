@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/low_resource_transfer.cpp" "examples/CMakeFiles/low_resource_transfer.dir/low_resource_transfer.cpp.o" "gcc" "examples/CMakeFiles/low_resource_transfer.dir/low_resource_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/applied/CMakeFiles/dlner_applied.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlner_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embeddings/CMakeFiles/dlner_embeddings.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoders/CMakeFiles/dlner_encoders.dir/DependInfo.cmake"
+  "/root/repo/build/src/decoders/CMakeFiles/dlner_decoders.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dlner_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dlner_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dlner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlner_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_resource_transfer.dir/low_resource_transfer.cpp.o"
+  "CMakeFiles/low_resource_transfer.dir/low_resource_transfer.cpp.o.d"
+  "low_resource_transfer"
+  "low_resource_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_resource_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

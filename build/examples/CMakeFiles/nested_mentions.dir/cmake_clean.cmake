@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_mentions.dir/nested_mentions.cpp.o"
+  "CMakeFiles/nested_mentions.dir/nested_mentions.cpp.o.d"
+  "nested_mentions"
+  "nested_mentions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_mentions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

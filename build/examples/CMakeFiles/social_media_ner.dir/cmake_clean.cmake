@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_media_ner.dir/social_media_ner.cpp.o"
+  "CMakeFiles/social_media_ner.dir/social_media_ner.cpp.o.d"
+  "social_media_ner"
+  "social_media_ner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_media_ner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/applied/active.cc" "src/applied/CMakeFiles/dlner_applied.dir/active.cc.o" "gcc" "src/applied/CMakeFiles/dlner_applied.dir/active.cc.o.d"
+  "/root/repo/src/applied/adversarial.cc" "src/applied/CMakeFiles/dlner_applied.dir/adversarial.cc.o" "gcc" "src/applied/CMakeFiles/dlner_applied.dir/adversarial.cc.o.d"
+  "/root/repo/src/applied/distant.cc" "src/applied/CMakeFiles/dlner_applied.dir/distant.cc.o" "gcc" "src/applied/CMakeFiles/dlner_applied.dir/distant.cc.o.d"
+  "/root/repo/src/applied/multitask.cc" "src/applied/CMakeFiles/dlner_applied.dir/multitask.cc.o" "gcc" "src/applied/CMakeFiles/dlner_applied.dir/multitask.cc.o.d"
+  "/root/repo/src/applied/nested.cc" "src/applied/CMakeFiles/dlner_applied.dir/nested.cc.o" "gcc" "src/applied/CMakeFiles/dlner_applied.dir/nested.cc.o.d"
+  "/root/repo/src/applied/transfer.cc" "src/applied/CMakeFiles/dlner_applied.dir/transfer.cc.o" "gcc" "src/applied/CMakeFiles/dlner_applied.dir/transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlner_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embeddings/CMakeFiles/dlner_embeddings.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoders/CMakeFiles/dlner_encoders.dir/DependInfo.cmake"
+  "/root/repo/build/src/decoders/CMakeFiles/dlner_decoders.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dlner_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dlner_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dlner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlner_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlner_applied.dir/active.cc.o"
+  "CMakeFiles/dlner_applied.dir/active.cc.o.d"
+  "CMakeFiles/dlner_applied.dir/adversarial.cc.o"
+  "CMakeFiles/dlner_applied.dir/adversarial.cc.o.d"
+  "CMakeFiles/dlner_applied.dir/distant.cc.o"
+  "CMakeFiles/dlner_applied.dir/distant.cc.o.d"
+  "CMakeFiles/dlner_applied.dir/multitask.cc.o"
+  "CMakeFiles/dlner_applied.dir/multitask.cc.o.d"
+  "CMakeFiles/dlner_applied.dir/nested.cc.o"
+  "CMakeFiles/dlner_applied.dir/nested.cc.o.d"
+  "CMakeFiles/dlner_applied.dir/transfer.cc.o"
+  "CMakeFiles/dlner_applied.dir/transfer.cc.o.d"
+  "libdlner_applied.a"
+  "libdlner_applied.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlner_applied.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

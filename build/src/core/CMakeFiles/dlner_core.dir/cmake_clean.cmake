@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlner_core.dir/config.cc.o"
+  "CMakeFiles/dlner_core.dir/config.cc.o.d"
+  "CMakeFiles/dlner_core.dir/model.cc.o"
+  "CMakeFiles/dlner_core.dir/model.cc.o.d"
+  "CMakeFiles/dlner_core.dir/pipeline.cc.o"
+  "CMakeFiles/dlner_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/dlner_core.dir/trainer.cc.o"
+  "CMakeFiles/dlner_core.dir/trainer.cc.o.d"
+  "libdlner_core.a"
+  "libdlner_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlner_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

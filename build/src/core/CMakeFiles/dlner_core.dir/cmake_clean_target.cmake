@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlner_core.a"
+)

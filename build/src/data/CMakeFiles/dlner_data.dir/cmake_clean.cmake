@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlner_data.dir/banks.cc.o"
+  "CMakeFiles/dlner_data.dir/banks.cc.o.d"
+  "CMakeFiles/dlner_data.dir/dataset.cc.o"
+  "CMakeFiles/dlner_data.dir/dataset.cc.o.d"
+  "CMakeFiles/dlner_data.dir/gazetteer.cc.o"
+  "CMakeFiles/dlner_data.dir/gazetteer.cc.o.d"
+  "CMakeFiles/dlner_data.dir/synthetic.cc.o"
+  "CMakeFiles/dlner_data.dir/synthetic.cc.o.d"
+  "libdlner_data.a"
+  "libdlner_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlner_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

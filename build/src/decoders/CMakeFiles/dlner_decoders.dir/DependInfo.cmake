@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decoders/crf.cc" "src/decoders/CMakeFiles/dlner_decoders.dir/crf.cc.o" "gcc" "src/decoders/CMakeFiles/dlner_decoders.dir/crf.cc.o.d"
+  "/root/repo/src/decoders/fofe.cc" "src/decoders/CMakeFiles/dlner_decoders.dir/fofe.cc.o" "gcc" "src/decoders/CMakeFiles/dlner_decoders.dir/fofe.cc.o.d"
+  "/root/repo/src/decoders/pointer.cc" "src/decoders/CMakeFiles/dlner_decoders.dir/pointer.cc.o" "gcc" "src/decoders/CMakeFiles/dlner_decoders.dir/pointer.cc.o.d"
+  "/root/repo/src/decoders/rnn_decoder.cc" "src/decoders/CMakeFiles/dlner_decoders.dir/rnn_decoder.cc.o" "gcc" "src/decoders/CMakeFiles/dlner_decoders.dir/rnn_decoder.cc.o.d"
+  "/root/repo/src/decoders/semicrf.cc" "src/decoders/CMakeFiles/dlner_decoders.dir/semicrf.cc.o" "gcc" "src/decoders/CMakeFiles/dlner_decoders.dir/semicrf.cc.o.d"
+  "/root/repo/src/decoders/softmax.cc" "src/decoders/CMakeFiles/dlner_decoders.dir/softmax.cc.o" "gcc" "src/decoders/CMakeFiles/dlner_decoders.dir/softmax.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/dlner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlner_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlner_decoders.dir/crf.cc.o"
+  "CMakeFiles/dlner_decoders.dir/crf.cc.o.d"
+  "CMakeFiles/dlner_decoders.dir/fofe.cc.o"
+  "CMakeFiles/dlner_decoders.dir/fofe.cc.o.d"
+  "CMakeFiles/dlner_decoders.dir/pointer.cc.o"
+  "CMakeFiles/dlner_decoders.dir/pointer.cc.o.d"
+  "CMakeFiles/dlner_decoders.dir/rnn_decoder.cc.o"
+  "CMakeFiles/dlner_decoders.dir/rnn_decoder.cc.o.d"
+  "CMakeFiles/dlner_decoders.dir/semicrf.cc.o"
+  "CMakeFiles/dlner_decoders.dir/semicrf.cc.o.d"
+  "CMakeFiles/dlner_decoders.dir/softmax.cc.o"
+  "CMakeFiles/dlner_decoders.dir/softmax.cc.o.d"
+  "libdlner_decoders.a"
+  "libdlner_decoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlner_decoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embeddings/char_features.cc" "src/embeddings/CMakeFiles/dlner_embeddings.dir/char_features.cc.o" "gcc" "src/embeddings/CMakeFiles/dlner_embeddings.dir/char_features.cc.o.d"
+  "/root/repo/src/embeddings/features.cc" "src/embeddings/CMakeFiles/dlner_embeddings.dir/features.cc.o" "gcc" "src/embeddings/CMakeFiles/dlner_embeddings.dir/features.cc.o.d"
+  "/root/repo/src/embeddings/lm.cc" "src/embeddings/CMakeFiles/dlner_embeddings.dir/lm.cc.o" "gcc" "src/embeddings/CMakeFiles/dlner_embeddings.dir/lm.cc.o.d"
+  "/root/repo/src/embeddings/sgns.cc" "src/embeddings/CMakeFiles/dlner_embeddings.dir/sgns.cc.o" "gcc" "src/embeddings/CMakeFiles/dlner_embeddings.dir/sgns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/dlner_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dlner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlner_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

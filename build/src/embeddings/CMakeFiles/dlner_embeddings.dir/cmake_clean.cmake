@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlner_embeddings.dir/char_features.cc.o"
+  "CMakeFiles/dlner_embeddings.dir/char_features.cc.o.d"
+  "CMakeFiles/dlner_embeddings.dir/features.cc.o"
+  "CMakeFiles/dlner_embeddings.dir/features.cc.o.d"
+  "CMakeFiles/dlner_embeddings.dir/lm.cc.o"
+  "CMakeFiles/dlner_embeddings.dir/lm.cc.o.d"
+  "CMakeFiles/dlner_embeddings.dir/sgns.cc.o"
+  "CMakeFiles/dlner_embeddings.dir/sgns.cc.o.d"
+  "libdlner_embeddings.a"
+  "libdlner_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlner_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoders/cnn.cc" "src/encoders/CMakeFiles/dlner_encoders.dir/cnn.cc.o" "gcc" "src/encoders/CMakeFiles/dlner_encoders.dir/cnn.cc.o.d"
+  "/root/repo/src/encoders/encoder.cc" "src/encoders/CMakeFiles/dlner_encoders.dir/encoder.cc.o" "gcc" "src/encoders/CMakeFiles/dlner_encoders.dir/encoder.cc.o.d"
+  "/root/repo/src/encoders/recursive.cc" "src/encoders/CMakeFiles/dlner_encoders.dir/recursive.cc.o" "gcc" "src/encoders/CMakeFiles/dlner_encoders.dir/recursive.cc.o.d"
+  "/root/repo/src/encoders/rnn_encoder.cc" "src/encoders/CMakeFiles/dlner_encoders.dir/rnn_encoder.cc.o" "gcc" "src/encoders/CMakeFiles/dlner_encoders.dir/rnn_encoder.cc.o.d"
+  "/root/repo/src/encoders/transformer.cc" "src/encoders/CMakeFiles/dlner_encoders.dir/transformer.cc.o" "gcc" "src/encoders/CMakeFiles/dlner_encoders.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dlner_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

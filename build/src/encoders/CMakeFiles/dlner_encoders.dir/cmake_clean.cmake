@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlner_encoders.dir/cnn.cc.o"
+  "CMakeFiles/dlner_encoders.dir/cnn.cc.o.d"
+  "CMakeFiles/dlner_encoders.dir/encoder.cc.o"
+  "CMakeFiles/dlner_encoders.dir/encoder.cc.o.d"
+  "CMakeFiles/dlner_encoders.dir/recursive.cc.o"
+  "CMakeFiles/dlner_encoders.dir/recursive.cc.o.d"
+  "CMakeFiles/dlner_encoders.dir/rnn_encoder.cc.o"
+  "CMakeFiles/dlner_encoders.dir/rnn_encoder.cc.o.d"
+  "CMakeFiles/dlner_encoders.dir/transformer.cc.o"
+  "CMakeFiles/dlner_encoders.dir/transformer.cc.o.d"
+  "libdlner_encoders.a"
+  "libdlner_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlner_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlner_eval.dir/metrics.cc.o"
+  "CMakeFiles/dlner_eval.dir/metrics.cc.o.d"
+  "libdlner_eval.a"
+  "libdlner_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlner_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

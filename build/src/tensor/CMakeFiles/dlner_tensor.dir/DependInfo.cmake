@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/gradcheck.cc" "src/tensor/CMakeFiles/dlner_tensor.dir/gradcheck.cc.o" "gcc" "src/tensor/CMakeFiles/dlner_tensor.dir/gradcheck.cc.o.d"
+  "/root/repo/src/tensor/nn.cc" "src/tensor/CMakeFiles/dlner_tensor.dir/nn.cc.o" "gcc" "src/tensor/CMakeFiles/dlner_tensor.dir/nn.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/tensor/CMakeFiles/dlner_tensor.dir/ops.cc.o" "gcc" "src/tensor/CMakeFiles/dlner_tensor.dir/ops.cc.o.d"
+  "/root/repo/src/tensor/optim.cc" "src/tensor/CMakeFiles/dlner_tensor.dir/optim.cc.o" "gcc" "src/tensor/CMakeFiles/dlner_tensor.dir/optim.cc.o.d"
+  "/root/repo/src/tensor/rng.cc" "src/tensor/CMakeFiles/dlner_tensor.dir/rng.cc.o" "gcc" "src/tensor/CMakeFiles/dlner_tensor.dir/rng.cc.o.d"
+  "/root/repo/src/tensor/rnn.cc" "src/tensor/CMakeFiles/dlner_tensor.dir/rnn.cc.o" "gcc" "src/tensor/CMakeFiles/dlner_tensor.dir/rnn.cc.o.d"
+  "/root/repo/src/tensor/serialize.cc" "src/tensor/CMakeFiles/dlner_tensor.dir/serialize.cc.o" "gcc" "src/tensor/CMakeFiles/dlner_tensor.dir/serialize.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/dlner_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/dlner_tensor.dir/tensor.cc.o.d"
+  "/root/repo/src/tensor/variable.cc" "src/tensor/CMakeFiles/dlner_tensor.dir/variable.cc.o" "gcc" "src/tensor/CMakeFiles/dlner_tensor.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

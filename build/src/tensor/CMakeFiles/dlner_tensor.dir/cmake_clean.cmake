@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlner_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/dlner_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/dlner_tensor.dir/nn.cc.o"
+  "CMakeFiles/dlner_tensor.dir/nn.cc.o.d"
+  "CMakeFiles/dlner_tensor.dir/ops.cc.o"
+  "CMakeFiles/dlner_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/dlner_tensor.dir/optim.cc.o"
+  "CMakeFiles/dlner_tensor.dir/optim.cc.o.d"
+  "CMakeFiles/dlner_tensor.dir/rng.cc.o"
+  "CMakeFiles/dlner_tensor.dir/rng.cc.o.d"
+  "CMakeFiles/dlner_tensor.dir/rnn.cc.o"
+  "CMakeFiles/dlner_tensor.dir/rnn.cc.o.d"
+  "CMakeFiles/dlner_tensor.dir/serialize.cc.o"
+  "CMakeFiles/dlner_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/dlner_tensor.dir/tensor.cc.o"
+  "CMakeFiles/dlner_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/dlner_tensor.dir/variable.cc.o"
+  "CMakeFiles/dlner_tensor.dir/variable.cc.o.d"
+  "libdlner_tensor.a"
+  "libdlner_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlner_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

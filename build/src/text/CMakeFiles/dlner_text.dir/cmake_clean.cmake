@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlner_text.dir/conll.cc.o"
+  "CMakeFiles/dlner_text.dir/conll.cc.o.d"
+  "CMakeFiles/dlner_text.dir/tagging.cc.o"
+  "CMakeFiles/dlner_text.dir/tagging.cc.o.d"
+  "CMakeFiles/dlner_text.dir/types.cc.o"
+  "CMakeFiles/dlner_text.dir/types.cc.o.d"
+  "CMakeFiles/dlner_text.dir/vocab.cc.o"
+  "CMakeFiles/dlner_text.dir/vocab.cc.o.d"
+  "libdlner_text.a"
+  "libdlner_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlner_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

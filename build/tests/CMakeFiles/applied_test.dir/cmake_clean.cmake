@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/applied_test.dir/applied_test.cc.o"
+  "CMakeFiles/applied_test.dir/applied_test.cc.o.d"
+  "applied_test"
+  "applied_test.pdb"
+  "applied_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/applied_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/decoders_test.cc" "tests/CMakeFiles/decoders_test.dir/decoders_test.cc.o" "gcc" "tests/CMakeFiles/decoders_test.dir/decoders_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/decoders/CMakeFiles/dlner_decoders.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dlner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlner_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoders_test.dir/decoders_test.cc.o"
+  "CMakeFiles/decoders_test.dir/decoders_test.cc.o.d"
+  "decoders_test"
+  "decoders_test.pdb"
+  "decoders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_fofe_test.dir/recursive_fofe_test.cc.o"
+  "CMakeFiles/recursive_fofe_test.dir/recursive_fofe_test.cc.o.d"
+  "recursive_fofe_test"
+  "recursive_fofe_test.pdb"
+  "recursive_fofe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_fofe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlner.dir/dlner_cli.cc.o"
+  "CMakeFiles/dlner.dir/dlner_cli.cc.o.d"
+  "dlner"
+  "dlner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
