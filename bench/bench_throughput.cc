@@ -1,0 +1,198 @@
+// Inference throughput benchmark for the parallel batch runtime: measures
+// corpus-level Evaluate in sentences/sec for the softmax/CRF decoders
+// crossed with the BiLSTM/CNN encoders at 1..8 threads, plus a
+// single-thread MatMul kernel microbenchmark (blocked raw-pointer kernel vs
+// the bounds-checked triple loop it replaced). Writes machine-readable
+// results to --out (default BENCH_throughput.json, intended to be run from
+// the repo root and committed).
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/model.h"
+#include "runtime/runtime.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace dlner;
+using namespace dlner::bench;
+
+std::vector<std::string> EntityTypesOf(const text::Corpus& corpus) {
+  std::vector<std::string> types;
+  for (const auto& s : corpus.sentences) {
+    for (const auto& sp : s.spans) {
+      if (std::find(types.begin(), types.end(), sp.type) == types.end()) {
+        types.push_back(sp.type);
+      }
+    }
+  }
+  std::sort(types.begin(), types.end());
+  return types;
+}
+
+// Runs Evaluate repeatedly for >= min_seconds (after one warmup pass) and
+// returns sentences/sec.
+double MeasureThroughput(const core::NerModel& model,
+                         const text::Corpus& corpus, double min_seconds) {
+  model.Evaluate(corpus);  // warmup: faults pages, primes allocator
+  int repeats = 0;
+  Stopwatch sw;
+  do {
+    model.Evaluate(corpus);
+    ++repeats;
+  } while (sw.Seconds() < min_seconds);
+  return repeats * static_cast<double>(corpus.size()) / sw.Seconds();
+}
+
+// The MatMul forward kernel this PR replaced: Tensor::at() is bounds-checked
+// on every access even in Release builds, which is exactly what the raw-
+// pointer blocked kernel avoids.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const Float av = a.at(i, p);
+      if (av == 0.0) continue;
+      for (int j = 0; j < n; ++j) out.at(i, j) += av * b.at(p, j);
+    }
+  }
+  return out;
+}
+
+struct MatMulResult {
+  double naive_gflops = 0.0;
+  double kernel_gflops = 0.0;
+  double speedup = 0.0;
+};
+
+MatMulResult MeasureMatMul(int m, int k, int n, double min_seconds) {
+  Rng rng(99);
+  Tensor ta({m, k}), tb({k, n});
+  for (int i = 0; i < ta.size(); ++i) ta[i] = rng.Uniform(-1.0, 1.0);
+  for (int i = 0; i < tb.size(); ++i) tb[i] = rng.Uniform(-1.0, 1.0);
+  const double flops_per_call = 2.0 * m * k * n;
+
+  MatMulResult result;
+  {
+    volatile Float sink = 0.0;
+    int repeats = 0;
+    Stopwatch sw;
+    do {
+      Tensor c = NaiveMatMul(ta, tb);
+      sink = sink + c[0];
+      ++repeats;
+    } while (sw.Seconds() < min_seconds);
+    result.naive_gflops = repeats * flops_per_call / sw.Seconds() / 1e9;
+  }
+  {
+    NoGradGuard no_grad;
+    Var va = Constant(ta);
+    Var vb = Constant(tb);
+    volatile Float sink = 0.0;
+    int repeats = 0;
+    Stopwatch sw;
+    do {
+      Var c = MatMul(va, vb);
+      sink = sink + c->value[0];
+      ++repeats;
+    } while (sw.Seconds() < min_seconds);
+    result.kernel_gflops = repeats * flops_per_call / sw.Seconds() / 1e9;
+  }
+  result.speedup = result.kernel_gflops / result.naive_gflops;
+  return result;
+}
+
+struct ModelRun {
+  std::string name;
+  std::vector<int> threads;
+  std::vector<double> sentences_per_sec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_throughput.json";
+  double min_seconds = 1.0;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+    if (std::string(argv[i]) == "--min-seconds") {
+      min_seconds = std::atof(argv[i + 1]);
+    }
+  }
+
+  PrintHeader("Inference throughput (parallel batch runtime)");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware_concurrency = %u\n\n", hw);
+
+  const text::Corpus corpus = data::MakeDataset("conll-like", 300, 17);
+  const auto types = EntityTypesOf(corpus);
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  std::vector<ModelRun> runs;
+  for (const std::string encoder : {"bilstm", "cnn"}) {
+    for (const std::string decoder : {"softmax", "crf"}) {
+      core::NerConfig config;
+      config.encoder = encoder;
+      config.decoder = decoder;
+      config.seed = 31;
+      core::NerModel model(config, corpus, types);
+
+      ModelRun run;
+      run.name = encoder + "+" + decoder;
+      std::printf("%-16s", run.name.c_str());
+      for (const int t : thread_counts) {
+        runtime::Runtime::Get().SetThreads(t);
+        const double sps = MeasureThroughput(model, corpus, min_seconds);
+        run.threads.push_back(t);
+        run.sentences_per_sec.push_back(sps);
+        std::printf("  %dt: %7.1f sent/s", t, sps);
+      }
+      std::printf("\n");
+      runs.push_back(std::move(run));
+    }
+  }
+  runtime::Runtime::Get().SetThreads(1);
+
+  std::printf("\nMatMul kernel microbenchmark (single thread)\n");
+  const MatMulResult mm = MeasureMatMul(40, 48, 96, min_seconds);
+  std::printf("  naive .at() kernel : %6.3f GFLOP/s\n", mm.naive_gflops);
+  std::printf("  blocked raw kernel : %6.3f GFLOP/s\n", mm.kernel_gflops);
+  std::printf("  speedup            : %6.2fx\n", mm.speedup);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"corpus_sentences\": %d,\n", corpus.size());
+  std::fprintf(f, "  \"models\": [\n");
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const ModelRun& run = runs[r];
+    std::fprintf(f, "    {\"name\": \"%s\", \"throughput\": {",
+                 run.name.c_str());
+    double t1 = 0.0, t4 = 0.0;
+    for (size_t i = 0; i < run.threads.size(); ++i) {
+      std::fprintf(f, "%s\"%d\": %.1f", i == 0 ? "" : ", ", run.threads[i],
+                   run.sentences_per_sec[i]);
+      if (run.threads[i] == 1) t1 = run.sentences_per_sec[i];
+      if (run.threads[i] == 4) t4 = run.sentences_per_sec[i];
+    }
+    std::fprintf(f, "}, \"speedup_4t\": %.2f}%s\n", t1 > 0.0 ? t4 / t1 : 0.0,
+                 r + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"matmul\": {\"m\": 40, \"k\": 48, \"n\": 96, "
+               "\"naive_gflops\": %.3f, \"kernel_gflops\": %.3f, "
+               "\"speedup\": %.2f}\n}\n",
+               mm.naive_gflops, mm.kernel_gflops, mm.speedup);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

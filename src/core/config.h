@@ -56,6 +56,14 @@ struct NerConfig {
 
   uint64_t seed = 42;
 
+  // --- Runtime (not part of the architecture) ---
+  /// Worker threads for corpus-level operations (Evaluate, PredictCorpus).
+  /// -1 leaves the process-wide runtime untouched; 0 means hardware
+  /// concurrency; N > 0 pins the count. Deliberately NOT serialized: a
+  /// saved model must load identically regardless of the machine that
+  /// trained it, and appending fields would break the binary format.
+  int threads = -1;
+
   /// Short human-readable architecture label, e.g.
   /// "word+charCNN / BiLSTM / CRF".
   std::string Describe() const;

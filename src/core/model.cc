@@ -1,5 +1,7 @@
 #include "core/model.h"
 
+#include "runtime/runtime.h"
+
 #include "decoders/crf.h"
 #include "decoders/fofe.h"
 #include "decoders/pointer.h"
@@ -30,6 +32,7 @@ NerModel::NerModel(const NerConfig& config, text::Vocabulary word_vocab,
       char_vocab_(std::move(char_vocab)),
       entity_types_(std::move(entity_types)) {
   DLNER_CHECK(!entity_types_.empty());
+  if (config_.threads >= 0) runtime::Runtime::Get().SetThreads(config_.threads);
   Build(resources);
 }
 
@@ -150,17 +153,17 @@ void NerModel::Build(const Resources& resources) {
 }
 
 Var NerModel::Represent(const std::vector<std::string>& tokens,
-                        bool training) {
+                        bool training) const {
   return representation_->Forward(tokens, training);
 }
 
-Var NerModel::Encode(const Var& representation, bool training) {
+Var NerModel::Encode(const Var& representation, bool training) const {
   return encoder_->Encode(representation, training);
 }
 
 Var NerModel::EncodeTokens(const Var& representation,
                            const std::vector<std::string>& tokens,
-                           bool training) {
+                           bool training) const {
   if (recursive_encoder_ != nullptr) {
     return recursive_encoder_->EncodeTree(
         representation, encoders::BuildHeuristicTree(tokens));
@@ -170,7 +173,7 @@ Var NerModel::EncodeTokens(const Var& representation,
 
 Var NerModel::LossFromRepresentation(const Var& representation,
                                      const text::Sentence& gold,
-                                     bool training) {
+                                     bool training) const {
   return decoder_->Loss(EncodeTokens(representation, gold.tokens, training),
                         gold);
 }
@@ -182,17 +185,58 @@ Var NerModel::Loss(const text::Sentence& sentence, bool training) {
 }
 
 std::vector<text::Span> NerModel::Predict(
-    const std::vector<std::string>& tokens) {
+    const std::vector<std::string>& tokens) const {
   DLNER_CHECK(!tokens.empty());
+  NoGradGuard no_grad;
   Var rep = Represent(tokens, /*training=*/false);
   return decoder_->Predict(EncodeTokens(rep, tokens, /*training=*/false));
 }
 
-eval::ExactResult NerModel::Evaluate(const text::Corpus& corpus) {
+namespace {
+
+// Shard granularity for corpus-level parallelism: coarse enough to
+// amortize dispatch, fine enough to balance uneven sentence lengths.
+constexpr std::int64_t kSentenceGrain = 8;
+
+}  // namespace
+
+std::vector<std::vector<text::Span>> NerModel::PredictCorpus(
+    const text::Corpus& corpus) const {
+  const auto& sentences = corpus.sentences;
+  std::vector<std::vector<text::Span>> predicted(sentences.size());
+  runtime::ParallelFor(
+      static_cast<std::int64_t>(sentences.size()), kSentenceGrain,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          if (!sentences[i].tokens.empty()) {
+            predicted[i] = Predict(sentences[i].tokens);
+          }
+        }
+      });
+  return predicted;
+}
+
+eval::ExactResult NerModel::Evaluate(const text::Corpus& corpus) const {
+  const auto& sentences = corpus.sentences;
+  const std::int64_t total = static_cast<std::int64_t>(sentences.size());
+  // One evaluator per fixed-boundary shard; ParallelFor guarantees chunk c
+  // covers [c*grain, (c+1)*grain), so shard index = begin / grain. Merging
+  // in shard order makes the result independent of thread count.
+  const std::int64_t shards =
+      total == 0 ? 0 : (total + kSentenceGrain - 1) / kSentenceGrain;
+  std::vector<eval::ExactMatchEvaluator> shard_evs(shards);
+  runtime::ParallelFor(
+      total, kSentenceGrain, [&](std::int64_t begin, std::int64_t end) {
+        eval::ExactMatchEvaluator& ev = shard_evs[begin / kSentenceGrain];
+        for (std::int64_t i = begin; i < end; ++i) {
+          const text::Sentence& s = sentences[i];
+          std::vector<text::Span> spans;
+          if (!s.tokens.empty()) spans = Predict(s.tokens);
+          ev.Add(s.spans, spans);
+        }
+      });
   eval::ExactMatchEvaluator ev;
-  for (const text::Sentence& s : corpus.sentences) {
-    ev.Add(s.spans, Predict(s.tokens));
-  }
+  for (const eval::ExactMatchEvaluator& shard : shard_evs) ev.Merge(shard);
   return ev.Result();
 }
 

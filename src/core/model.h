@@ -51,31 +51,42 @@ class NerModel : public Module {
   /// wrappers (multi-task, adversarial) can extend it.
   virtual Var Loss(const text::Sentence& sentence, bool training = true);
 
-  /// Predicted entity spans for a token sequence.
-  std::vector<text::Span> Predict(const std::vector<std::string>& tokens);
+  /// Predicted entity spans for a token sequence. Runs under NoGradGuard
+  /// (value-only graph, in-place kernels) and is safe to call concurrently
+  /// from multiple threads on a shared model.
+  std::vector<text::Span> Predict(const std::vector<std::string>& tokens) const;
 
-  /// Exact-match evaluation over a corpus.
-  eval::ExactResult Evaluate(const text::Corpus& corpus);
+  /// Predictions for every sentence of a corpus, in corpus order. Sentences
+  /// are sharded across the runtime's thread pool; the result is identical
+  /// to calling Predict sequentially.
+  std::vector<std::vector<text::Span>> PredictCorpus(
+      const text::Corpus& corpus) const;
+
+  /// Exact-match evaluation over a corpus. Parallel over sentences; the
+  /// per-shard statistics are merged in shard order, so the result is
+  /// bit-identical across thread counts.
+  eval::ExactResult Evaluate(const text::Corpus& corpus) const;
 
   std::vector<Var> Parameters() const override;
 
   // --- Hooks for applied-DL techniques (Section 4) ---
   /// Input representation [T, rep_dim]; the node is retained so callers can
   /// read its gradient after Backward (adversarial training).
-  Var Represent(const std::vector<std::string>& tokens, bool training);
+  Var Represent(const std::vector<std::string>& tokens, bool training) const;
   /// Encoder output for a representation matrix. For the recursive ("brnn")
   /// encoder this uses a structure-agnostic balanced bracketing; prefer
   /// EncodeTokens when the token strings are available.
-  Var Encode(const Var& representation, bool training);
+  Var Encode(const Var& representation, bool training) const;
   /// Encoder output with token strings available: the recursive encoder
   /// brackets with the punctuation heuristic; all other encoders ignore
   /// the tokens.
   Var EncodeTokens(const Var& representation,
-                   const std::vector<std::string>& tokens, bool training);
+                   const std::vector<std::string>& tokens,
+                   bool training) const;
   /// Loss computed from an externally supplied (possibly perturbed)
   /// representation.
   Var LossFromRepresentation(const Var& representation,
-                             const text::Sentence& gold, bool training);
+                             const text::Sentence& gold, bool training) const;
 
   const NerConfig& config() const { return config_; }
   const text::Vocabulary& word_vocab() const { return word_vocab_; }

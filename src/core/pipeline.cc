@@ -24,11 +24,12 @@ std::unique_ptr<Pipeline> Pipeline::Train(
   return pipeline;
 }
 
-std::vector<text::Span> Pipeline::Tag(const std::vector<std::string>& tokens) {
+std::vector<text::Span> Pipeline::Tag(
+    const std::vector<std::string>& tokens) const {
   return model_->Predict(tokens);
 }
 
-text::Sentence Pipeline::TagText(const std::string& raw) {
+text::Sentence Pipeline::TagText(const std::string& raw) const {
   text::Sentence s;
   std::istringstream ss(raw);
   std::string tok;
@@ -37,7 +38,12 @@ text::Sentence Pipeline::TagText(const std::string& raw) {
   return s;
 }
 
-eval::ExactResult Pipeline::Evaluate(const text::Corpus& corpus) {
+std::vector<std::vector<text::Span>> Pipeline::TagCorpus(
+    const text::Corpus& corpus) const {
+  return model_->PredictCorpus(corpus);
+}
+
+eval::ExactResult Pipeline::Evaluate(const text::Corpus& corpus) const {
   return model_->Evaluate(corpus);
 }
 

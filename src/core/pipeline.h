@@ -24,13 +24,18 @@ class Pipeline {
       const Resources& resources = {});
 
   /// Tags a pre-tokenized sentence.
-  std::vector<text::Span> Tag(const std::vector<std::string>& tokens);
+  std::vector<text::Span> Tag(const std::vector<std::string>& tokens) const;
 
   /// Whitespace-tokenizes and tags a raw string.
-  text::Sentence TagText(const std::string& raw);
+  text::Sentence TagText(const std::string& raw) const;
 
-  /// Exact-match evaluation on a corpus.
-  eval::ExactResult Evaluate(const text::Corpus& corpus);
+  /// Tags every sentence of a corpus in parallel (see
+  /// NerModel::PredictCorpus); predictions are returned in corpus order.
+  std::vector<std::vector<text::Span>> TagCorpus(
+      const text::Corpus& corpus) const;
+
+  /// Exact-match evaluation on a corpus (parallel over sentences).
+  eval::ExactResult Evaluate(const text::Corpus& corpus) const;
 
   /// Persists config + entity types + vocabularies + parameters. Only
   /// self-contained models can be saved: models that reference external

@@ -171,7 +171,7 @@ Tensor CrfDecoder::Marginals(const Tensor& emissions) const {
   return marginals;
 }
 
-std::vector<text::Span> CrfDecoder::Predict(const Var& encodings) {
+std::vector<text::Span> CrfDecoder::Predict(const Var& encodings) const {
   Var emissions = Emissions(encodings);
   return tags_->TagIdsToSpans(ViterbiPath(emissions->value));
 }

@@ -28,7 +28,7 @@ class CrfDecoder : public TagDecoder {
              const std::string& name = "crf_dec");
 
   Var Loss(const Var& encodings, const text::Sentence& gold) override;
-  std::vector<text::Span> Predict(const Var& encodings) override;
+  std::vector<text::Span> Predict(const Var& encodings) const override;
   std::vector<Var> Parameters() const override;
 
   /// Sequence log partition function (exposed for tests against brute

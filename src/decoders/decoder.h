@@ -20,7 +20,7 @@ class TagDecoder : public Module {
   virtual Var Loss(const Var& encodings, const text::Sentence& gold) = 0;
 
   /// Decodes entity spans from [T, d] encodings.
-  virtual std::vector<text::Span> Predict(const Var& encodings) = 0;
+  virtual std::vector<text::Span> Predict(const Var& encodings) const = 0;
 };
 
 }  // namespace dlner::decoders

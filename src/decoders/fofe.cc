@@ -84,7 +84,7 @@ Var FofeDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
                1.0 / static_cast<int>(terms.size()));
 }
 
-std::vector<text::Span> FofeDecoder::Predict(const Var& encodings) {
+std::vector<text::Span> FofeDecoder::Predict(const Var& encodings) const {
   const int t_len = encodings->value.rows();
   struct Candidate {
     int start;

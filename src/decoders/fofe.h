@@ -26,7 +26,7 @@ class FofeDecoder : public TagDecoder {
               const std::string& name = "fofe_dec");
 
   Var Loss(const Var& encodings, const text::Sentence& gold) override;
-  std::vector<text::Span> Predict(const Var& encodings) override;
+  std::vector<text::Span> Predict(const Var& encodings) const override;
   std::vector<Var> Parameters() const override;
 
   /// FOFE encoding of rows [start, end) of `m` (forward order when

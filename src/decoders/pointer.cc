@@ -94,7 +94,7 @@ Var PointerDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
                1.0 / static_cast<int>(terms.size()));
 }
 
-std::vector<text::Span> PointerDecoder::Predict(const Var& encodings) {
+std::vector<text::Span> PointerDecoder::Predict(const Var& encodings) const {
   const int t_len = encodings->value.rows();
   RnnState state = cell_->InitialState();
   std::vector<text::Span> spans;

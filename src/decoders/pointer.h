@@ -23,7 +23,7 @@ class PointerDecoder : public TagDecoder {
                  const std::string& name = "pointer_dec");
 
   Var Loss(const Var& encodings, const text::Sentence& gold) override;
-  std::vector<text::Span> Predict(const Var& encodings) override;
+  std::vector<text::Span> Predict(const Var& encodings) const override;
   std::vector<Var> Parameters() const override;
 
   const std::vector<std::string>& entity_types() const {

@@ -44,7 +44,7 @@ Var RnnDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
 }
 
 std::vector<text::Span> RnnDecoder::PredictBeam(const Var& encodings,
-                                                int beam_width) {
+                                                int beam_width) const {
   DLNER_CHECK_GE(beam_width, 1);
   const int t_len = encodings->value.rows();
   const int k = tags_->size();
@@ -99,7 +99,7 @@ std::vector<text::Span> RnnDecoder::PredictBeam(const Var& encodings,
   return tags_->TagIdsToSpans(beam.front().tags);
 }
 
-std::vector<text::Span> RnnDecoder::Predict(const Var& encodings) {
+std::vector<text::Span> RnnDecoder::Predict(const Var& encodings) const {
   const int t_len = encodings->value.rows();
   RnnState state = cell_->InitialState();
   std::vector<int> predicted(t_len);

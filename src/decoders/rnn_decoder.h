@@ -23,14 +23,14 @@ class RnnDecoder : public TagDecoder {
              int hidden_dim, Rng* rng, const std::string& name = "rnn_dec");
 
   Var Loss(const Var& encodings, const text::Sentence& gold) override;
-  std::vector<text::Span> Predict(const Var& encodings) override;
+  std::vector<text::Span> Predict(const Var& encodings) const override;
   std::vector<Var> Parameters() const override;
 
   /// Beam-search decoding: keeps the `beam_width` highest log-probability
   /// tag prefixes instead of committing greedily (mitigates the error
   /// propagation the survey flags as the decoder's main weakness,
   /// Section 3.5). beam_width == 1 is exactly greedy decoding.
-  std::vector<text::Span> PredictBeam(const Var& encodings, int beam_width);
+  std::vector<text::Span> PredictBeam(const Var& encodings, int beam_width) const;
 
   const text::TagSet& tags() const { return *tags_; }
 

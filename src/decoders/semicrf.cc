@@ -131,7 +131,7 @@ Var SemiCrfDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
   return Scale(nll, 1.0 / t_len);
 }
 
-std::vector<text::Span> SemiCrfDecoder::Predict(const Var& encodings) {
+std::vector<text::Span> SemiCrfDecoder::Predict(const Var& encodings) const {
   const int t_len = encodings->value.rows();
   const int y = num_labels();
   const Tensor emissions = proj_->Apply(encodings)->value;

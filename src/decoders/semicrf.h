@@ -24,7 +24,7 @@ class SemiCrfDecoder : public TagDecoder {
                  const std::string& name = "semicrf_dec");
 
   Var Loss(const Var& encodings, const text::Sentence& gold) override;
-  std::vector<text::Span> Predict(const Var& encodings) override;
+  std::vector<text::Span> Predict(const Var& encodings) const override;
   std::vector<Var> Parameters() const override;
 
   /// Log partition over all segmentations (exposed for brute-force tests).

@@ -24,7 +24,7 @@ Var SoftmaxDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
   return Scale(Sum(ConcatVecs(terms)), 1.0 / t_len);
 }
 
-std::vector<text::Span> SoftmaxDecoder::Predict(const Var& encodings) {
+std::vector<text::Span> SoftmaxDecoder::Predict(const Var& encodings) const {
   Var logits = proj_->Apply(encodings);
   const int t_len = logits->value.rows();
   const int k = logits->value.cols();

@@ -18,7 +18,7 @@ class SoftmaxDecoder : public TagDecoder {
                  const std::string& name = "softmax_dec");
 
   Var Loss(const Var& encodings, const text::Sentence& gold) override;
-  std::vector<text::Span> Predict(const Var& encodings) override;
+  std::vector<text::Span> Predict(const Var& encodings) const override;
   std::vector<Var> Parameters() const override { return proj_->Parameters(); }
   const text::TagSet& tags() const { return *tags_; }
 

@@ -15,7 +15,7 @@ CharCnnFeature::CharCnnFeature(const text::Vocabulary* char_vocab,
 }
 
 Var CharCnnFeature::Forward(const std::vector<std::string>& tokens,
-                            bool /*training*/) {
+                            bool /*training*/) const {
   std::vector<Var> rows;
   rows.reserve(tokens.size());
   for (const std::string& word : tokens) {
@@ -47,7 +47,7 @@ CharRnnFeature::CharRnnFeature(const text::Vocabulary* char_vocab,
 }
 
 Var CharRnnFeature::Forward(const std::vector<std::string>& tokens,
-                            bool /*training*/) {
+                            bool /*training*/) const {
   std::vector<Var> rows;
   rows.reserve(tokens.size());
   for (const std::string& word : tokens) {

@@ -24,7 +24,8 @@ class CharCnnFeature : public TokenFeature {
                  int num_filters, Rng* rng,
                  const std::string& name = "char_cnn");
 
-  Var Forward(const std::vector<std::string>& tokens, bool training) override;
+  Var Forward(const std::vector<std::string>& tokens,
+              bool training) const override;
   int dim() const override { return num_filters_; }
   std::vector<Var> Parameters() const override;
 
@@ -42,7 +43,8 @@ class CharRnnFeature : public TokenFeature {
                  int hidden_dim, Rng* rng,
                  const std::string& name = "char_rnn");
 
-  Var Forward(const std::vector<std::string>& tokens, bool training) override;
+  Var Forward(const std::vector<std::string>& tokens,
+              bool training) const override;
   int dim() const override { return 2 * hidden_dim_; }
   std::vector<Var> Parameters() const override;
 

@@ -22,7 +22,7 @@ WordEmbeddingFeature::WordEmbeddingFeature(const text::Vocabulary* vocab,
 }
 
 Var WordEmbeddingFeature::Forward(const std::vector<std::string>& tokens,
-                                  bool training) {
+                                  bool training) const {
   std::vector<int> ids = vocab_->Encode(tokens);
   if (training && unk_dropout_ > 0.0) {
     for (int& id : ids) {
@@ -66,7 +66,7 @@ std::vector<Float> WordShapeFeature::ShapeOf(const std::string& word) {
 }
 
 Var WordShapeFeature::Forward(const std::vector<std::string>& tokens,
-                              bool /*training*/) {
+                              bool /*training*/) const {
   Tensor out({static_cast<int>(tokens.size()), kDim});
   for (int t = 0; t < static_cast<int>(tokens.size()); ++t) {
     const std::vector<Float> f = ShapeOf(tokens[t]);
@@ -89,7 +89,7 @@ int GazetteerFeature::dim() const {
 }
 
 Var GazetteerFeature::Forward(const std::vector<std::string>& tokens,
-                              bool /*training*/) {
+                              bool /*training*/) const {
   const auto feats = gazetteer_->MatchFeatures(tokens);
   Tensor out({static_cast<int>(tokens.size()), dim()});
   for (int t = 0; t < static_cast<int>(tokens.size()); ++t) {
@@ -111,7 +111,7 @@ ComposedRepresentation::ComposedRepresentation(
 }
 
 Var ComposedRepresentation::Forward(const std::vector<std::string>& tokens,
-                                    bool training) {
+                                    bool training) const {
   DLNER_CHECK(!tokens.empty());
   std::vector<Var> parts;
   parts.reserve(features_.size());

@@ -20,8 +20,10 @@ namespace dlner::embeddings {
 /// Per-token feature extractor producing a [T, dim] matrix.
 class TokenFeature : public Module {
  public:
+  /// Const so a shared model can run concurrent forward passes; the rng is
+  /// only touched when `training` is true.
   virtual Var Forward(const std::vector<std::string>& tokens,
-                      bool training) = 0;
+                      bool training) const = 0;
   virtual int dim() const = 0;
 };
 
@@ -38,7 +40,8 @@ class WordEmbeddingFeature : public TokenFeature {
                        Float unk_dropout = 0.0,
                        const std::string& name = "word_emb");
 
-  Var Forward(const std::vector<std::string>& tokens, bool training) override;
+  Var Forward(const std::vector<std::string>& tokens,
+              bool training) const override;
   int dim() const override { return embedding_->dim(); }
   std::vector<Var> Parameters() const override {
     return embedding_->Parameters();
@@ -60,7 +63,8 @@ class WordShapeFeature : public TokenFeature {
  public:
   static constexpr int kDim = 8;
 
-  Var Forward(const std::vector<std::string>& tokens, bool training) override;
+  Var Forward(const std::vector<std::string>& tokens,
+              bool training) const override;
   int dim() const override { return kDim; }
   std::vector<Var> Parameters() const override { return {}; }
 
@@ -74,7 +78,8 @@ class GazetteerFeature : public TokenFeature {
  public:
   explicit GazetteerFeature(const data::Gazetteer* gazetteer);
 
-  Var Forward(const std::vector<std::string>& tokens, bool training) override;
+  Var Forward(const std::vector<std::string>& tokens,
+              bool training) const override;
   int dim() const override;
   std::vector<Var> Parameters() const override { return {}; }
 
@@ -89,7 +94,8 @@ class ComposedRepresentation : public TokenFeature {
   ComposedRepresentation(std::vector<std::unique_ptr<TokenFeature>> features,
                          Float dropout, Rng* rng);
 
-  Var Forward(const std::vector<std::string>& tokens, bool training) override;
+  Var Forward(const std::vector<std::string>& tokens,
+              bool training) const override;
   int dim() const override { return dim_; }
   std::vector<Var> Parameters() const override;
 

@@ -117,7 +117,8 @@ class CharLmFeature : public TokenFeature {
   explicit CharLmFeature(const CharLm* lm) : lm_(lm) {
     DLNER_CHECK(lm_ != nullptr);
   }
-  Var Forward(const std::vector<std::string>& tokens, bool) override {
+  Var Forward(const std::vector<std::string>& tokens,
+              bool) const override {
     return Constant(lm_->Extract(tokens));
   }
   int dim() const override { return lm_->dim(); }
@@ -133,7 +134,8 @@ class TokenLmFeature : public TokenFeature {
   explicit TokenLmFeature(const TokenLm* lm) : lm_(lm) {
     DLNER_CHECK(lm_ != nullptr);
   }
-  Var Forward(const std::vector<std::string>& tokens, bool) override {
+  Var Forward(const std::vector<std::string>& tokens,
+              bool) const override {
     return Constant(lm_->Extract(tokens));
   }
   int dim() const override { return lm_->dim(); }

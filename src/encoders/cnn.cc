@@ -17,7 +17,7 @@ CnnEncoder::CnnEncoder(int in_dim, int hidden_dim, int num_layers,
   }
 }
 
-Var CnnEncoder::Encode(const Var& input, bool /*training*/) {
+Var CnnEncoder::Encode(const Var& input, bool /*training*/) const {
   Var h = input;
   for (const auto& layer : layers_) h = Relu(layer->Apply(h));
   if (!global_feature_) return h;
@@ -63,7 +63,7 @@ IdCnnEncoder::IdCnnEncoder(int in_dim, int hidden_dim,
   }
 }
 
-Var IdCnnEncoder::Encode(const Var& input, bool /*training*/) {
+Var IdCnnEncoder::Encode(const Var& input, bool /*training*/) const {
   Var h = Relu(project_->Apply(input));
   // The same block (shared parameters) is iterated, which is what lets
   // ID-CNNs cover large contexts without parameter growth.

@@ -29,7 +29,7 @@ class CnnEncoder : public ContextEncoder {
   CnnEncoder(int in_dim, int hidden_dim, int num_layers, bool global_feature,
              Rng* rng, const std::string& name = "cnn_enc");
 
-  Var Encode(const Var& input, bool training) override;
+  Var Encode(const Var& input, bool training) const override;
   int out_dim() const override;
   std::vector<Var> Parameters() const override;
 
@@ -46,7 +46,7 @@ class IdCnnEncoder : public ContextEncoder {
   IdCnnEncoder(int in_dim, int hidden_dim, std::vector<int> dilations,
                int iterations, Rng* rng, const std::string& name = "idcnn");
 
-  Var Encode(const Var& input, bool training) override;
+  Var Encode(const Var& input, bool training) const override;
   int out_dim() const override { return hidden_dim_; }
   std::vector<Var> Parameters() const override;
 

@@ -6,8 +6,8 @@ MlpEncoder::MlpEncoder(int in_dim, int hidden_dim, Rng* rng,
                        const std::string& name)
     : hidden_(std::make_unique<Linear>(in_dim, hidden_dim, rng, name)) {}
 
-Var MlpEncoder::Encode(const Var& input, bool /*training*/) {
-  return Tanh(hidden_->Apply(input));
+Var MlpEncoder::Encode(const Var& input, bool /*training*/) const {
+  return hidden_->ApplyTanh(input);
 }
 
 }  // namespace dlner::encoders

@@ -13,8 +13,9 @@ namespace dlner::encoders {
 
 class ContextEncoder : public Module {
  public:
-  /// Input [T, in_dim] -> output [T, out_dim].
-  virtual Var Encode(const Var& input, bool training) = 0;
+  /// Input [T, in_dim] -> output [T, out_dim]. Const so a shared model can
+  /// run concurrent forward passes; implementations must not mutate state.
+  virtual Var Encode(const Var& input, bool training) const = 0;
   virtual int out_dim() const = 0;
 };
 
@@ -26,7 +27,7 @@ class MlpEncoder : public ContextEncoder {
   MlpEncoder(int in_dim, int hidden_dim, Rng* rng,
              const std::string& name = "mlp_enc");
 
-  Var Encode(const Var& input, bool training) override;
+  Var Encode(const Var& input, bool training) const override;
   int out_dim() const override { return hidden_->out_dim(); }
   std::vector<Var> Parameters() const override { return hidden_->Parameters(); }
 

@@ -103,7 +103,7 @@ RecursiveEncoder::RecursiveEncoder(int in_dim, int hidden_dim, Rng* rng,
       down_right_(std::make_unique<Linear>(2 * hidden_dim, hidden_dim, rng,
                                            name + ".down_right")) {}
 
-Var RecursiveEncoder::Encode(const Var& input, bool /*training*/) {
+Var RecursiveEncoder::Encode(const Var& input, bool /*training*/) const {
   return EncodeTree(input, BuildBalancedTree(input->value.rows()));
 }
 

@@ -57,7 +57,7 @@ class RecursiveEncoder : public ContextEncoder {
   /// Encodes with the heuristic tree built from token count alone (the
   /// ContextEncoder interface carries no strings, so bracketing uses the
   /// balanced fallback).
-  Var Encode(const Var& input, bool training) override;
+  Var Encode(const Var& input, bool training) const override;
 
   /// Encodes over an explicit tree (used by NerModel, which has tokens and
   /// can call BuildHeuristicTree).

@@ -17,7 +17,7 @@ RnnEncoder::RnnEncoder(const std::string& kind, int in_dim, int hidden_dim,
   }
 }
 
-Var RnnEncoder::Encode(const Var& input, bool training) {
+Var RnnEncoder::Encode(const Var& input, bool training) const {
   Var h = input;
   for (size_t l = 0; l < layers_.size(); ++l) {
     h = layers_[l]->Apply(h);

@@ -102,7 +102,7 @@ Tensor TransformerEncoder::PositionEncodings(int t_len) const {
   return pe;
 }
 
-Var TransformerEncoder::Encode(const Var& input, bool training) {
+Var TransformerEncoder::Encode(const Var& input, bool training) const {
   Var h = input_proj_->Apply(input);
   h = Add(h, Constant(PositionEncodings(h->value.rows())));
   h = Dropout(h, dropout_, rng_, training);

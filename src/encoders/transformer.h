@@ -45,7 +45,7 @@ class TransformerEncoder : public ContextEncoder {
                      int num_layers, Float dropout, Rng* rng,
                      const std::string& name = "transformer");
 
-  Var Encode(const Var& input, bool training) override;
+  Var Encode(const Var& input, bool training) const override;
   int out_dim() const override { return model_dim_; }
   std::vector<Var> Parameters() const override;
 

@@ -1,0 +1,58 @@
+#include "runtime/runtime.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace dlner::runtime {
+namespace {
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+// Resolves the initial thread count from DLNER_THREADS (0, unset, or
+// unparsable values fall back to hardware concurrency).
+int InitialThreads() {
+  const char* env = std::getenv("DLNER_THREADS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return HardwareThreads();
+}
+
+}  // namespace
+
+Runtime::Runtime() : threads_(InitialThreads()) {}
+
+Runtime& Runtime::Get() {
+  static Runtime* instance = new Runtime();  // leaked: lives until exit
+  return *instance;
+}
+
+void Runtime::SetThreads(int n) {
+  if (n <= 0) n = HardwareThreads();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n == threads_ && pool_ != nullptr) return;
+  pool_.reset();  // joins the old workers before the new size takes effect
+  threads_ = n;
+}
+
+int Runtime::threads() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_;
+}
+
+ThreadPool& Runtime::pool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+  return *pool_;
+}
+
+void ParallelFor(std::int64_t total, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& body) {
+  Runtime::Get().pool().ParallelFor(total, grain, body);
+}
+
+}  // namespace dlner::runtime

@@ -1,0 +1,57 @@
+// Process-wide execution resources.
+//
+// The Runtime owns one lazily-created ThreadPool shared by every
+// corpus-level parallel operation (evaluation, batch tagging, benchmarks).
+// The logical thread count is resolved in precedence order:
+//   1. Runtime::Get().SetThreads(n)   — programmatic (NerConfig::threads,
+//                                       dlner_cli --threads)
+//   2. DLNER_THREADS environment variable
+//   3. std::thread::hardware_concurrency()
+// A count of 0 in any of these means "use hardware concurrency". The count
+// includes the calling thread, so a Runtime configured for N threads keeps
+// N-1 pool workers.
+#ifndef DLNER_RUNTIME_RUNTIME_H_
+#define DLNER_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "runtime/thread_pool.h"
+
+namespace dlner::runtime {
+
+class Runtime {
+ public:
+  /// The process-wide instance.
+  static Runtime& Get();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Sets the logical thread count (0 = hardware concurrency). Rebuilds the
+  /// pool on change; must not be called while a ParallelFor is in flight.
+  void SetThreads(int n);
+
+  /// Configured logical thread count (always >= 1).
+  int threads();
+
+  /// The shared pool (created on first use).
+  ThreadPool& pool();
+
+ private:
+  Runtime();
+
+  std::mutex mu_;
+  int threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Convenience wrapper: Runtime::Get().pool().ParallelFor(...).
+void ParallelFor(std::int64_t total, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& body);
+
+}  // namespace dlner::runtime
+
+#endif  // DLNER_RUNTIME_RUNTIME_H_

@@ -1,0 +1,131 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "tensor/check.h"
+
+namespace dlner::runtime {
+
+// Shared between the caller and helper tasks of one ParallelFor. Helpers
+// hold a shared_ptr, so a straggler that wakes up after every chunk is done
+// can still touch the state safely; the caller only waits for `done` to
+// reach `chunks`, never for the helpers themselves, which keeps nested
+// ParallelFor calls deadlock-free even when all workers are busy.
+struct ThreadPool::ForState {
+  std::function<void(std::int64_t, std::int64_t)> body;
+  std::int64_t total = 0;
+  std::int64_t grain = 1;
+  std::int64_t chunks = 0;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int workers) {
+  DLNER_CHECK_GE(workers, 0);
+  threads_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  DLNER_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DLNER_CHECK_MSG(!stop_, "Submit on a stopped ThreadPool");
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunChunks(const std::shared_ptr<ForState>& state) {
+  for (;;) {
+    const std::int64_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state->chunks) return;
+    if (!state->failed.load(std::memory_order_relaxed)) {
+      const std::int64_t begin = c * state->grain;
+      const std::int64_t end = std::min(state->total, begin + state->grain);
+      try {
+        state->body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->error == nullptr) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state->chunks) {
+      // Lock before notifying so the caller cannot miss the final wakeup
+      // between checking the predicate and blocking.
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t total, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (total <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = (total + grain - 1) / grain;
+  if (workers() == 0 || chunks == 1) {
+    // Serial path: identical chunk boundaries, same exception behavior.
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      body(c * grain, std::min(total, (c + 1) * grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->body = body;
+  state->total = total;
+  state->grain = grain;
+  state->chunks = chunks;
+
+  const int helpers =
+      static_cast<int>(std::min<std::int64_t>(chunks - 1, workers()));
+  for (int h = 0; h < helpers; ++h) {
+    Submit([state] { RunChunks(state); });
+  }
+  RunChunks(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->chunks;
+  });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+}  // namespace dlner::runtime

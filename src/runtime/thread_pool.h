@@ -1,0 +1,65 @@
+// Fixed-size worker pool with a deterministic parallel-for.
+//
+// ParallelFor cuts [0, total) into fixed chunks of `grain` indices: chunk c
+// always covers [c*grain, min((c+1)*grain, total)), no matter which thread
+// executes it or in which order chunks are claimed. Callers that write one
+// output slot per index (or one accumulator per chunk) therefore get
+// bit-identical results at any thread count — the property the parallel
+// evaluation path relies on.
+#ifndef DLNER_RUNTIME_THREAD_POOL_H_
+#define DLNER_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dlner::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` background threads. Zero workers is valid: every
+  /// ParallelFor then runs inline on the calling thread.
+  explicit ThreadPool(int workers);
+
+  /// Drains any queued tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues one task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(begin, end) over every chunk of [0, total); blocks until all
+  /// chunks completed. The calling thread participates, so this is safe to
+  /// call from inside a pool task (nested calls simply run on the threads
+  /// already available). The first exception thrown by `body` is rethrown
+  /// here; remaining chunks are skipped.
+  void ParallelFor(std::int64_t total, std::int64_t grain,
+                   const std::function<void(std::int64_t, std::int64_t)>& body);
+
+ private:
+  struct ForState;
+
+  // Claims and runs chunks of `state` until none remain.
+  static void RunChunks(const std::shared_ptr<ForState>& state);
+
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace dlner::runtime
+
+#endif  // DLNER_RUNTIME_THREAD_POOL_H_

@@ -95,12 +95,22 @@ Linear::Linear(int in_dim, int out_dim, Rng* rng, const std::string& name)
 
 Var Linear::Apply(const Var& x) const {
   DLNER_CHECK_EQ(x->value.cols(), in_dim_);
-  return AddRowBroadcast(MatMul(x, weight_), bias_);
+  return Affine(x, weight_, bias_);
 }
 
 Var Linear::ApplyVec(const Var& x) const {
   DLNER_CHECK_EQ(x->value.dim(), 1);
-  return AsVector(Apply(AsRow(x)));
+  return AffineVec(x, weight_, bias_);
+}
+
+Var Linear::ApplyTanh(const Var& x) const {
+  DLNER_CHECK_EQ(x->value.cols(), in_dim_);
+  return AffineTanh(x, weight_, bias_);
+}
+
+Var Linear::ApplySigmoid(const Var& x) const {
+  DLNER_CHECK_EQ(x->value.cols(), in_dim_);
+  return AffineSigmoid(x, weight_, bias_);
 }
 
 // ---------------------------------------------------------------------------
@@ -217,7 +227,7 @@ Conv1d::Conv1d(int in_dim, int out_dim, int width, int dilation, Rng* rng,
 
 Var Conv1d::Apply(const Var& x) const {
   Var unfolded = Unfold(x, width_, dilation_);
-  return AddRowBroadcast(MatMul(unfolded, weight_), bias_);
+  return Affine(unfolded, weight_, bias_);
 }
 
 // ---------------------------------------------------------------------------
@@ -231,7 +241,7 @@ Highway::Highway(int dim, Rng* rng, const std::string& name)
 
 Var Highway::Apply(const Var& x) const {
   DLNER_CHECK_EQ(x->value.cols(), dim_);
-  Var t = Sigmoid(gate_->Apply(x));
+  Var t = gate_->ApplySigmoid(x);
   Var h = Relu(transform_->Apply(x));
   Var ones = Constant(Tensor::Full(x->value.shape(), 1.0));
   Var carry = Sub(ones, t);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace dlner {
 namespace {
@@ -19,14 +20,98 @@ void Accum(const Var& p, const Tensor& delta) {
   p->grad.AccumulateFrom(delta);
 }
 
+// Accumulates `-delta` into `p`'s gradient if `p` participates in backprop
+// (the mirror of Accum used by subtrahend inputs).
+void AccumNeg(const Var& p, const Tensor& delta) {
+  if (!p->requires_grad) return;
+  DLNER_CHECK(p->grad.SameShape(delta));
+  Float* g = p->grad.data();
+  const Float* d = delta.data();
+  const int n = delta.size();
+  for (int i = 0; i < n; ++i) g[i] -= d[i];
+}
+
+// True when a unary op may overwrite `a`'s buffer instead of copying it:
+// nothing can read the value again. `!requires_grad` rules out every
+// backward pass over this value, and a use count of 1 on an rvalue handle
+// means no other owner exists (an aliasing op such as Dropout in eval mode
+// returns a second handle to the same node, which bumps the count).
+bool CanReuseBuffer(const Var& a) {
+  return !a->requires_grad && a.use_count() == 1;
+}
+
+// ---------------------------------------------------------------------------
+// Raw-pointer GEMM kernels shared by MatMul and the fused affine ops.
+//
+// All three access A, B, and C strictly row-major with hoisted row pointers.
+// The forward kernel additionally blocks the inner (k) dimension so a slab
+// of B rows stays cache-resident across the rows of A. Zero entries of A
+// are skipped: activation matrices from ReLU layers and one-hot-ish
+// features are sparse enough for the branch to pay for itself.
+// ---------------------------------------------------------------------------
+
+constexpr int kGemmBlock = 32;
+
+// C[m,n] += A[m,k] * B[k,n]
+void GemmAccum(const Float* a, const Float* b, Float* c, int m, int k, int n) {
+  for (int p0 = 0; p0 < k; p0 += kGemmBlock) {
+    const int p1 = std::min(k, p0 + kGemmBlock);
+    for (int i = 0; i < m; ++i) {
+      const Float* arow = a + static_cast<std::size_t>(i) * k;
+      Float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int p = p0; p < p1; ++p) {
+        const Float av = arow[p];
+        if (av == 0.0) continue;
+        const Float* brow = b + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// dA[m,k] += dC[m,n] * B^T  (row-dot-row: both operands stream row-major)
+void GemmAccumGradA(const Float* dc, const Float* b, Float* da, int m, int k,
+                    int n) {
+  for (int i = 0; i < m; ++i) {
+    const Float* grow = dc + static_cast<std::size_t>(i) * n;
+    Float* darow = da + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const Float* brow = b + static_cast<std::size_t>(p) * n;
+      Float s = 0.0;
+      for (int j = 0; j < n; ++j) s += grow[j] * brow[j];
+      darow[p] += s;
+    }
+  }
+}
+
+// dB[k,n] += A^T * dC
+void GemmAccumGradB(const Float* a, const Float* dc, Float* db, int m, int k,
+                    int n) {
+  for (int i = 0; i < m; ++i) {
+    const Float* arow = a + static_cast<std::size_t>(i) * k;
+    const Float* grow = dc + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const Float av = arow[p];
+      if (av == 0.0) continue;
+      Float* dbrow = db + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+    }
+  }
+}
+
 }  // namespace
 
 Var MakeNode(Tensor value, std::vector<Var> parents,
              std::function<void(Variable*)> backward_fn) {
   auto node = std::make_shared<Variable>(std::move(value));
-  node->requires_grad = AnyRequiresGrad(parents);
-  node->parents = std::move(parents);
-  if (node->requires_grad) node->backward_fn = std::move(backward_fn);
+  node->requires_grad = GradModeEnabled() && AnyRequiresGrad(parents);
+  if (node->requires_grad) {
+    // Value-only nodes (inference, or constant subgraphs) keep no parent
+    // edges: the upstream chain is released as soon as the forward pass
+    // moves on, which also keeps graph destruction shallow.
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
   return node;
 }
 
@@ -51,9 +136,7 @@ Var Sub(const Var& a, const Var& b) {
   for (int i = 0; i < out.size(); ++i) out[i] -= b->value[i];
   return MakeNode(std::move(out), {a, b}, [a, b](Variable* n) {
     Accum(a, n->grad);
-    if (b->requires_grad) {
-      for (int i = 0; i < n->grad.size(); ++i) b->grad[i] -= n->grad[i];
-    }
+    AccumNeg(b, n->grad);
   });
 }
 
@@ -137,6 +220,47 @@ Var Relu(const Var& a) {
   });
 }
 
+// In-place variants: an rvalue handle whose buffer nothing else can observe
+// is overwritten instead of copied (see CanReuseBuffer). These fire on the
+// inference path, where chains like Tanh(SliceVec(...)) otherwise copy
+// every intermediate.
+
+Var Tanh(Var&& a) {
+  if (!CanReuseBuffer(a)) return Tanh(a);
+  Tensor out = std::move(a->value);
+  Float* x = out.data();
+  const int n = out.size();
+  for (int i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+  return MakeNode(std::move(out), {}, nullptr);
+}
+
+Var Sigmoid(Var&& a) {
+  if (!CanReuseBuffer(a)) return Sigmoid(a);
+  Tensor out = std::move(a->value);
+  Float* x = out.data();
+  const int n = out.size();
+  for (int i = 0; i < n; ++i) x[i] = 1.0 / (1.0 + std::exp(-x[i]));
+  return MakeNode(std::move(out), {}, nullptr);
+}
+
+Var Relu(Var&& a) {
+  if (!CanReuseBuffer(a)) return Relu(a);
+  Tensor out = std::move(a->value);
+  Float* x = out.data();
+  const int n = out.size();
+  for (int i = 0; i < n; ++i) x[i] = std::max(x[i], 0.0);
+  return MakeNode(std::move(out), {}, nullptr);
+}
+
+Var Exp(Var&& a) {
+  if (!CanReuseBuffer(a)) return Exp(a);
+  Tensor out = std::move(a->value);
+  Float* x = out.data();
+  const int n = out.size();
+  for (int i = 0; i < n; ++i) x[i] = std::exp(x[i]);
+  return MakeNode(std::move(out), {}, nullptr);
+}
+
 Var Exp(const Var& a) {
   Tensor out = a->value;
   for (int i = 0; i < out.size(); ++i) out[i] = std::exp(out[i]);
@@ -178,39 +302,157 @@ Var MatMul(const Var& a, const Var& b) {
   const int n = b->value.cols();
 
   Tensor out({m, n});
-  for (int i = 0; i < m; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const Float av = a->value.at(i, p);
-      if (av == 0.0) continue;
-      for (int j = 0; j < n; ++j) {
-        out.at(i, j) += av * b->value.at(p, j);
-      }
-    }
-  }
+  GemmAccum(a->value.data(), b->value.data(), out.data(), m, k, n);
   return MakeNode(std::move(out), {a, b}, [a, b, m, k, n](Variable* node) {
     if (a->requires_grad) {
-      // dA = dC * B^T
-      for (int i = 0; i < m; ++i) {
-        for (int p = 0; p < k; ++p) {
-          Float s = 0.0;
-          for (int j = 0; j < n; ++j) {
-            s += node->grad.at(i, j) * b->value.at(p, j);
-          }
-          a->grad.at(i, p) += s;
+      GemmAccumGradA(node->grad.data(), b->value.data(), a->grad.data(), m, k,
+                     n);
+    }
+    if (b->requires_grad) {
+      GemmAccumGradB(a->value.data(), node->grad.data(), b->grad.data(), m, k,
+                     n);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fused affine ops. One graph node instead of the MatMul -> AddRowBroadcast
+// (-> activation) chain: the bias is written into the output rows before the
+// GEMM accumulates into them, and the optional activation is applied in the
+// same pass, saving one full-tensor copy and one node per call — which on
+// the RNN hot path means per gate per timestep.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class FusedAct { kNone, kTanh, kSigmoid };
+
+Var AffineImpl(const Var& x, const Var& w, const Var& b, FusedAct act) {
+  DLNER_CHECK_EQ(x->value.dim(), 2);
+  DLNER_CHECK_EQ(w->value.dim(), 2);
+  DLNER_CHECK_EQ(b->value.dim(), 1);
+  const int m = x->value.rows();
+  const int k = x->value.cols();
+  DLNER_CHECK_EQ(k, w->value.rows());
+  const int n = w->value.cols();
+  DLNER_CHECK_EQ(n, b->value.size());
+
+  Tensor out({m, n});
+  Float* c = out.data();
+  const Float* bias = b->value.data();
+  for (int i = 0; i < m; ++i) {
+    std::memcpy(c + static_cast<std::size_t>(i) * n, bias,
+                sizeof(Float) * static_cast<std::size_t>(n));
+  }
+  GemmAccum(x->value.data(), w->value.data(), c, m, k, n);
+  const int total = m * n;
+  switch (act) {
+    case FusedAct::kNone:
+      break;
+    case FusedAct::kTanh:
+      for (int i = 0; i < total; ++i) c[i] = std::tanh(c[i]);
+      break;
+    case FusedAct::kSigmoid:
+      for (int i = 0; i < total; ++i) c[i] = 1.0 / (1.0 + std::exp(-c[i]));
+      break;
+  }
+
+  auto node = MakeNode(std::move(out), {x, w, b}, nullptr);
+  if (node->requires_grad) {
+    node->backward_fn = [x, w, b, act, m, k, n](Variable* nd) {
+      // dZ is the gradient at the pre-activation; for the identity case it
+      // is nd->grad itself and no temporary is materialized.
+      Tensor dz_store;
+      const Float* dz = nd->grad.data();
+      if (act != FusedAct::kNone) {
+        dz_store = Tensor({m, n});
+        Float* t = dz_store.data();
+        const Float* y = nd->value.data();
+        const Float* g = nd->grad.data();
+        const int total = m * n;
+        if (act == FusedAct::kTanh) {
+          for (int i = 0; i < total; ++i) t[i] = g[i] * (1.0 - y[i] * y[i]);
+        } else {
+          for (int i = 0; i < total; ++i) t[i] = g[i] * y[i] * (1.0 - y[i]);
         }
+        dz = t;
+      }
+      if (x->requires_grad) {
+        GemmAccumGradA(dz, w->value.data(), x->grad.data(), m, k, n);
+      }
+      if (w->requires_grad) {
+        GemmAccumGradB(x->value.data(), dz, w->grad.data(), m, k, n);
+      }
+      if (b->requires_grad) {
+        Float* bg = b->grad.data();
+        for (int i = 0; i < m; ++i) {
+          const Float* row = dz + static_cast<std::size_t>(i) * n;
+          for (int j = 0; j < n; ++j) bg[j] += row[j];
+        }
+      }
+    };
+  }
+  return node;
+}
+
+}  // namespace
+
+Var Affine(const Var& x, const Var& w, const Var& b) {
+  return AffineImpl(x, w, b, FusedAct::kNone);
+}
+
+Var AffineTanh(const Var& x, const Var& w, const Var& b) {
+  return AffineImpl(x, w, b, FusedAct::kTanh);
+}
+
+Var AffineSigmoid(const Var& x, const Var& w, const Var& b) {
+  return AffineImpl(x, w, b, FusedAct::kSigmoid);
+}
+
+Var AffineVec(const Var& x, const Var& w, const Var& b) {
+  DLNER_CHECK_EQ(x->value.dim(), 1);
+  DLNER_CHECK_EQ(w->value.dim(), 2);
+  DLNER_CHECK_EQ(b->value.dim(), 1);
+  const int k = x->value.size();
+  DLNER_CHECK_EQ(k, w->value.rows());
+  const int n = w->value.cols();
+  DLNER_CHECK_EQ(n, b->value.size());
+
+  Tensor out({n}, b->value.vec());
+  Float* c = out.data();
+  const Float* xv = x->value.data();
+  const Float* wm = w->value.data();
+  for (int p = 0; p < k; ++p) {
+    const Float av = xv[p];
+    if (av == 0.0) continue;
+    const Float* wrow = wm + static_cast<std::size_t>(p) * n;
+    for (int j = 0; j < n; ++j) c[j] += av * wrow[j];
+  }
+  return MakeNode(std::move(out), {x, w, b}, [x, w, b, k, n](Variable* nd) {
+    const Float* g = nd->grad.data();
+    const Float* wm = w->value.data();
+    if (x->requires_grad) {
+      Float* xg = x->grad.data();
+      for (int p = 0; p < k; ++p) {
+        const Float* wrow = wm + static_cast<std::size_t>(p) * n;
+        Float s = 0.0;
+        for (int j = 0; j < n; ++j) s += g[j] * wrow[j];
+        xg[p] += s;
+      }
+    }
+    if (w->requires_grad) {
+      const Float* xv = x->value.data();
+      Float* wg = w->grad.data();
+      for (int p = 0; p < k; ++p) {
+        const Float av = xv[p];
+        if (av == 0.0) continue;
+        Float* wrow = wg + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) wrow[j] += av * g[j];
       }
     }
     if (b->requires_grad) {
-      // dB = A^T * dC
-      for (int p = 0; p < k; ++p) {
-        for (int i = 0; i < m; ++i) {
-          const Float av = a->value.at(i, p);
-          if (av == 0.0) continue;
-          for (int j = 0; j < n; ++j) {
-            b->grad.at(p, j) += av * node->grad.at(i, j);
-          }
-        }
-      }
+      Float* bg = b->grad.data();
+      for (int j = 0; j < n; ++j) bg[j] += g[j];
     }
   });
 }

@@ -50,12 +50,30 @@ Var Exp(const Var& a);
 /// Natural log; inputs must be strictly positive.
 Var Log(const Var& a);
 
+// Rvalue overloads that transform the input buffer in place when it is safe
+// to do so (the handle is the sole owner and the node carries no gradient,
+// i.e. inference under NoGradGuard). They fall back to the copying overloads
+// otherwise, so call sites may pass std::move unconditionally.
+Var Tanh(Var&& a);
+Var Sigmoid(Var&& a);
+Var Relu(Var&& a);
+Var Exp(Var&& a);
+
 // ---------------------------------------------------------------------------
 // Linear algebra.
 // ---------------------------------------------------------------------------
 
 /// Matrix product of [m,k] and [k,n] -> [m,n].
 Var MatMul(const Var& a, const Var& b);
+/// Fused affine map: x [m,k] times w [k,n] plus row-broadcast bias b [n]
+/// -> [m,n]. One node instead of the MatMul -> AddRowBroadcast chain.
+Var Affine(const Var& x, const Var& w, const Var& b);
+/// Affine followed by tanh, fused into a single node.
+Var AffineTanh(const Var& x, const Var& w, const Var& b);
+/// Affine followed by the logistic sigmoid, fused into a single node.
+Var AffineSigmoid(const Var& x, const Var& w, const Var& b);
+/// Vector affine map: x [k] times w [k,n] plus b [n] -> [n].
+Var AffineVec(const Var& x, const Var& w, const Var& b);
 /// Matrix transpose.
 Var Transpose(const Var& m);
 /// Inner product of two equal-length vectors -> scalar [1].

@@ -5,6 +5,17 @@
 #include "tensor/check.h"
 
 namespace dlner {
+namespace {
+
+thread_local bool g_grad_enabled = true;
+
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
 
 void Variable::EnsureGrad() {
   if (!grad.SameShape(value) || grad.empty() != value.empty()) {

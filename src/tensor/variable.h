@@ -59,6 +59,27 @@ class Variable {
   void ZeroGrad();
 };
 
+/// Thread-local autograd mode. While disabled, MakeNode produces value-only
+/// nodes: no backward closure, no parent edges (so intermediate results are
+/// freed as soon as the forward pass moves past them), and the
+/// buffer-reusing in-place op variants in ops.h become eligible even when an
+/// input depends on trainable parameters. Inference entry points
+/// (NerModel::Predict) disable gradients via NoGradGuard; each thread has
+/// its own flag, so parallel inference never disturbs a training thread.
+bool GradModeEnabled();
+
+/// RAII guard that disables gradient recording on the current thread.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// Creates a leaf that does not require gradients (e.g. fixed input).
 Var Constant(Tensor value);
 

@@ -20,6 +20,7 @@
 
 #include "core/pipeline.h"
 #include "data/dataset.h"
+#include "runtime/runtime.h"
 #include "text/conll.h"
 
 namespace {
@@ -56,6 +57,14 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+// Applies --threads to the process-wide runtime (0 = hardware concurrency).
+// Without the flag the runtime keeps its DLNER_THREADS / hardware default.
+void ApplyThreadsFlag(const Args& args) {
+  if (args.Has("threads")) {
+    runtime::Runtime::Get().SetThreads(args.GetInt("threads", 0));
+  }
+}
 
 std::vector<std::string> EntityTypesOf(const text::Corpus& corpus) {
   std::set<std::string> types;
@@ -132,6 +141,7 @@ int CmdTrain(const Args& args) {
   config.hidden_dim = args.GetInt("hidden-dim", 24);
   config.word_unk_dropout = args.GetDouble("word-dropout", 0.2);
   config.seed = args.GetInt("seed", 42);
+  config.threads = args.GetInt("threads", -1);
 
   core::TrainConfig tc;
   tc.epochs = args.GetInt("epochs", 12);
@@ -156,6 +166,7 @@ int CmdTrain(const Args& args) {
 }
 
 int CmdTag(const Args& args) {
+  ApplyThreadsFlag(args);
   auto pipeline = core::Pipeline::Load(args.Get("model"));
   if (pipeline == nullptr) {
     std::fprintf(stderr, "tag: cannot load model %s\n",
@@ -181,7 +192,10 @@ int CmdTag(const Args& args) {
     std::fprintf(stderr, "tag: need --text or a readable --in file\n");
     return 1;
   }
-  for (auto& s : input.sentences) s.spans = pipeline->Tag(s.tokens);
+  std::vector<std::vector<text::Span>> predicted = pipeline->TagCorpus(input);
+  for (int i = 0; i < input.size(); ++i) {
+    input.sentences[i].spans = std::move(predicted[i]);
+  }
   text::TagSet tags(pipeline->model()->entity_types(),
                     text::TagSchemeFromString(
                         pipeline->model()->config().scheme));
@@ -195,6 +209,7 @@ int CmdTag(const Args& args) {
 }
 
 int CmdEval(const Args& args) {
+  ApplyThreadsFlag(args);
   auto pipeline = core::Pipeline::Load(args.Get("model"));
   if (pipeline == nullptr) {
     std::fprintf(stderr, "eval: cannot load model %s\n",
@@ -217,8 +232,10 @@ int CmdEval(const Args& args) {
   }
   if (args.Has("relaxed")) {
     eval::RelaxedMatchEvaluator relaxed;
-    for (const auto& s : test.sentences) {
-      relaxed.Add(s.spans, pipeline->Tag(s.tokens));
+    std::vector<std::vector<text::Span>> predicted =
+        pipeline->TagCorpus(test);
+    for (int i = 0; i < test.size(); ++i) {
+      relaxed.Add(test.sentences[i].spans, predicted[i]);
     }
     eval::RelaxedResult r = relaxed.Result();
     std::printf("relaxed (MUC): type-F1=%.3f text-F1=%.3f muc-F1=%.3f\n",
@@ -234,8 +251,12 @@ void Usage() {
       "  train    --train FILE --model FILE [--dev FILE] [--encoder E]\n"
       "           [--decoder D] [--char-cnn] [--char-rnn] [--shape]\n"
       "           [--epochs N] [--lr X] [--word-dropout X] [--verbose]\n"
+      "           [--threads N]\n"
       "  tag      --model FILE (--text \"...\" | --in FILE [--out FILE])\n"
-      "  eval     --model FILE --test FILE [--relaxed]\n"
+      "           [--threads N]\n"
+      "  eval     --model FILE --test FILE [--relaxed] [--threads N]\n"
+      "--threads N: worker threads for corpus evaluation/tagging\n"
+      "             (0 = hardware concurrency; DLNER_THREADS also honored)\n"
       "datasets: conll-like ontonotes-like wnut-like fine-grained-like\n"
       "          nested-like bio-like\n"
       "encoders: mlp cnn idcnn bilstm bigru transformer brnn\n"
