@@ -4,22 +4,17 @@
 #include <ostream>
 #include <sstream>
 
+#include "tensor/serialize.h"
+
 namespace dlner::core {
 namespace {
 
 void WriteString(std::ostream& os, const std::string& s) {
-  const uint32_t n = static_cast<uint32_t>(s.size());
-  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  os.write(s.data(), n);
+  WriteLenString(os, s);
 }
 
 bool ReadString(std::istream& is, std::string* s) {
-  uint32_t n = 0;
-  is.read(reinterpret_cast<char*>(&n), sizeof(n));
-  if (!is || n > 1 << 20) return false;
-  s->assign(n, '\0');
-  is.read(s->data(), n);
-  return static_cast<bool>(is);
+  return ReadLenString(is, s, 1u << 20);
 }
 
 template <typename T>
@@ -31,6 +26,22 @@ template <typename T>
 bool ReadPod(std::istream& is, T* v) {
   is.read(reinterpret_cast<char*>(v), sizeof(*v));
   return static_cast<bool>(is);
+}
+
+// Bools are framed as one 0/1 byte. Reading a raw byte straight into a
+// bool would be undefined behavior for corrupt values (anything but 0/1),
+// so decode via uint8_t and reject other values outright.
+void WritePod(std::ostream& os, const bool& v) {
+  const uint8_t b = v ? 1 : 0;
+  os.write(reinterpret_cast<const char*>(&b), sizeof(b));
+}
+
+bool ReadPod(std::istream& is, bool* v) {
+  uint8_t b = 0;
+  is.read(reinterpret_cast<char*>(&b), sizeof(b));
+  if (!is || b > 1) return false;
+  *v = b != 0;
+  return true;
 }
 
 }  // namespace
@@ -52,6 +63,51 @@ std::string NerConfig::Describe() const {
   if (use_token_lm) add("tokenLM");
   oss << " / " << encoder << " / " << decoder;
   return oss.str();
+}
+
+bool NerConfig::Valid() const {
+  const auto dim_ok = [](int d) { return d >= 1 && d <= 4096; };
+  const auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!use_word && !use_char_cnn && !use_char_rnn && !use_shape &&
+      !use_gazetteer && !use_char_lm && !use_token_lm) {
+    return false;
+  }
+  if (!dim_ok(word_dim) || !dim_ok(char_dim) || !dim_ok(char_filters) ||
+      !dim_ok(char_hidden) || !dim_ok(hidden_dim) || !dim_ok(tag_embed_dim) ||
+      !dim_ok(decoder_hidden) || !dim_ok(transformer_ffn)) {
+    return false;
+  }
+  if (!prob_ok(word_unk_dropout) || !prob_ok(input_dropout) ||
+      !prob_ok(encoder_dropout)) {
+    return false;
+  }
+  if (encoder != "mlp" && encoder != "cnn" && encoder != "idcnn" &&
+      encoder != "bilstm" && encoder != "bigru" && encoder != "brnn" &&
+      encoder != "transformer") {
+    return false;
+  }
+  if (encoder_layers < 1 || encoder_layers > 64) return false;
+  if (cnn_layers < 1 || cnn_layers > 64) return false;
+  if (idcnn_dilations.empty() || idcnn_dilations.size() > 16) return false;
+  for (int d : idcnn_dilations) {
+    if (d < 1 || d > 1024) return false;
+  }
+  if (idcnn_iterations < 1 || idcnn_iterations > 64) return false;
+  if (transformer_heads < 1 || transformer_heads > 64) return false;
+  // Gated on use so unused fields cannot invalidate a trained config.
+  if (encoder == "transformer" && hidden_dim % transformer_heads != 0) {
+    return false;
+  }
+  if (decoder != "softmax" && decoder != "crf" && decoder != "semicrf" &&
+      decoder != "rnn" && decoder != "pointer" && decoder != "fofe") {
+    return false;
+  }
+  if (scheme != "io" && scheme != "bio" && scheme != "bioes") return false;
+  if (max_segment_len < 1 || max_segment_len > 1024) return false;
+  if (decoder == "fofe" && (!(fofe_alpha > 0.0) || !(fofe_alpha < 1.0))) {
+    return false;
+  }
+  return true;
 }
 
 void WriteConfig(std::ostream& os, const NerConfig& c) {

@@ -67,6 +67,12 @@ struct NerConfig {
   /// Short human-readable architecture label, e.g.
   /// "word+charCNN / BiLSTM / CRF".
   std::string Describe() const;
+
+  /// True when every field names a known module and sits in a sane range,
+  /// so NerModel construction cannot CHECK-fail. Pipeline::Load rejects
+  /// checkpoints whose deserialized config is not Valid() — corrupt files
+  /// must fail by return value, never by crash.
+  bool Valid() const;
 };
 
 /// Binary (de)serialization used by Pipeline::Save/Load.

@@ -8,7 +8,15 @@
 namespace dlner::core {
 namespace {
 
-constexpr char kMagic[] = "DLNERPIPE1";
+// Checkpoint format v2 ("DLNERPIPE2"): v1 plus embedded resource blocks
+// (gazetteer, char-LM, token-LM) after the vocabulary blocks. v1 files
+// ("DLNERPIPE1") are rejected cleanly by the magic comparison.
+constexpr char kMagic[] = "DLNERPIPE2";
+
+// Deserialization caps: streams exceeding them are corrupt, not large.
+constexpr uint32_t kMaxEntityTypes = 4096;
+constexpr uint32_t kMaxEntityTypeLen = 4096;
+constexpr uint32_t kMaxVocabBlock = 1u << 26;  // 64 MB of vocab text
 
 }  // namespace
 
@@ -17,6 +25,7 @@ std::unique_ptr<Pipeline> Pipeline::Train(
     const text::Corpus& train, const text::Corpus* dev,
     std::vector<std::string> entity_types, const Resources& resources) {
   auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
+  pipeline->resources_ = resources;
   pipeline->model_ = std::make_unique<NerModel>(
       config, train, std::move(entity_types), resources);
   Trainer trainer(pipeline->model_.get(), train_config);
@@ -49,32 +58,29 @@ eval::ExactResult Pipeline::Evaluate(const text::Corpus& corpus) const {
 
 bool Pipeline::Save(const std::string& path) const {
   const NerConfig& config = model_->config();
-  if (config.use_gazetteer || config.use_char_lm || config.use_token_lm) {
-    return false;  // externally-owned resources cannot be persisted
-  }
+  // Every enabled resource must still be reachable to be checkpointed.
+  if (config.use_gazetteer && resources_.gazetteer == nullptr) return false;
+  if (config.use_char_lm && resources_.char_lm == nullptr) return false;
+  if (config.use_token_lm && resources_.token_lm == nullptr) return false;
   std::ofstream os(path, std::ios::binary);
   if (!os) return false;
   os.write(kMagic, sizeof(kMagic));
   WriteConfig(os, config);
   // Entity types.
   const auto& types = model_->entity_types();
-  const uint32_t n_types = static_cast<uint32_t>(types.size());
-  os.write(reinterpret_cast<const char*>(&n_types), sizeof(n_types));
-  for (const std::string& t : types) {
-    const uint32_t len = static_cast<uint32_t>(t.size());
-    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
-    os.write(t.data(), len);
-  }
+  WriteU32(os, static_cast<uint32_t>(types.size()));
+  for (const std::string& t : types) WriteLenString(os, t);
   // Vocabularies (text blocks framed by length).
   for (const text::Vocabulary* vocab :
        {&model_->word_vocab(), &model_->char_vocab()}) {
     std::ostringstream block;
     vocab->Save(block);
-    const std::string data = block.str();
-    const uint32_t len = static_cast<uint32_t>(data.size());
-    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
-    os.write(data.data(), len);
+    WriteLenString(os, block.str());
   }
+  // Resource blocks, in fixed order, present iff the config enables them.
+  if (config.use_gazetteer) resources_.gazetteer->Save(os);
+  if (config.use_char_lm) resources_.char_lm->Save(os);
+  if (config.use_token_lm) resources_.token_lm->Save(os);
   SaveParameters(os, model_->Parameters());
   return static_cast<bool>(os);
 }
@@ -89,34 +95,47 @@ std::unique_ptr<Pipeline> Pipeline::Load(const std::string& path) {
     return nullptr;
   }
   NerConfig config;
-  if (!ReadConfig(is, &config)) return nullptr;
+  if (!ReadConfig(is, &config) || !config.Valid()) return nullptr;
   uint32_t n_types = 0;
-  is.read(reinterpret_cast<char*>(&n_types), sizeof(n_types));
-  if (!is || n_types == 0 || n_types > 4096) return nullptr;
+  if (!ReadU32(is, &n_types) || n_types == 0 || n_types > kMaxEntityTypes) {
+    return nullptr;
+  }
   std::vector<std::string> types(n_types);
   for (uint32_t i = 0; i < n_types; ++i) {
-    uint32_t len = 0;
-    is.read(reinterpret_cast<char*>(&len), sizeof(len));
-    if (!is || len > 4096) return nullptr;
-    types[i].assign(len, '\0');
-    is.read(types[i].data(), len);
-    if (!is) return nullptr;
+    if (!ReadLenString(is, &types[i], kMaxEntityTypeLen)) return nullptr;
+    if (types[i].empty()) return nullptr;
   }
   text::Vocabulary vocabs[2];
   for (auto& vocab : vocabs) {
-    uint32_t len = 0;
-    is.read(reinterpret_cast<char*>(&len), sizeof(len));
-    if (!is) return nullptr;
-    std::string data(len, '\0');
-    is.read(data.data(), len);
-    if (!is) return nullptr;
+    std::string data;
+    if (!ReadLenString(is, &data, kMaxVocabBlock)) return nullptr;
     std::istringstream block(data);
     if (!text::Vocabulary::Load(block, &vocab)) return nullptr;
   }
 
   auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
+  // Reconstruct the serialized resources; the pipeline owns them and the
+  // model borrows them, making a loaded pipeline fully self-contained.
+  if (config.use_gazetteer) {
+    pipeline->owned_gazetteer_ = std::make_unique<data::Gazetteer>();
+    if (!data::Gazetteer::Load(is, pipeline->owned_gazetteer_.get())) {
+      return nullptr;
+    }
+    pipeline->resources_.gazetteer = pipeline->owned_gazetteer_.get();
+  }
+  if (config.use_char_lm) {
+    pipeline->owned_char_lm_ = embeddings::CharLm::Load(is);
+    if (pipeline->owned_char_lm_ == nullptr) return nullptr;
+    pipeline->resources_.char_lm = pipeline->owned_char_lm_.get();
+  }
+  if (config.use_token_lm) {
+    pipeline->owned_token_lm_ = embeddings::TokenLm::Load(is);
+    if (pipeline->owned_token_lm_ == nullptr) return nullptr;
+    pipeline->resources_.token_lm = pipeline->owned_token_lm_.get();
+  }
   pipeline->model_ = std::make_unique<NerModel>(
-      config, std::move(vocabs[0]), std::move(vocabs[1]), std::move(types));
+      config, std::move(vocabs[0]), std::move(vocabs[1]), std::move(types),
+      pipeline->resources_);
   if (!LoadParameters(is, pipeline->model_->Parameters())) return nullptr;
   return pipeline;
 }

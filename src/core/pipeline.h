@@ -37,20 +37,36 @@ class Pipeline {
   /// Exact-match evaluation on a corpus (parallel over sentences).
   eval::ExactResult Evaluate(const text::Corpus& corpus) const;
 
-  /// Persists config + entity types + vocabularies + parameters. Only
-  /// self-contained models can be saved: models that reference external
-  /// resources (gazetteer, char/token LM) return false, since the external
-  /// state is not owned by the pipeline.
+  /// Persists config + entity types + vocabularies + external resources +
+  /// parameters (checkpoint format v2, see docs/EXTENDING.md). Models that
+  /// use a gazetteer, char-LM, or token-LM serialize those resources into
+  /// the checkpoint, so every taxonomy cell round-trips. Pre-trained word
+  /// vectors (Resources::sgns) need no block of their own: they only
+  /// initialize the word embedding, which is saved as a parameter.
   bool Save(const std::string& path) const;
 
-  /// Restores a pipeline saved with Save(). Returns null on failure.
+  /// Restores a pipeline saved with Save(), reconstructing a self-contained
+  /// copy of any serialized resources (owned by the pipeline). Returns null
+  /// on any malformed, truncated, or version-mismatched checkpoint; no
+  /// failure mode crashes or allocates unbounded memory.
   static std::unique_ptr<Pipeline> Load(const std::string& path);
 
   NerModel* model() { return model_.get(); }
   const TrainResult& train_result() const { return train_result_; }
 
+  /// The resources the model was built with (borrowed at Train time, owned
+  /// after Load). Pointers are null for unused resource kinds.
+  const Resources& resources() const { return resources_; }
+
  private:
   Pipeline() = default;
+
+  // Owned reconstructions of checkpointed resources (set by Load). Declared
+  // before model_: the model borrows them, so they must outlive it.
+  std::unique_ptr<data::Gazetteer> owned_gazetteer_;
+  std::unique_ptr<embeddings::CharLm> owned_char_lm_;
+  std::unique_ptr<embeddings::TokenLm> owned_token_lm_;
+  Resources resources_;
 
   std::unique_ptr<NerModel> model_;
   TrainResult train_result_;

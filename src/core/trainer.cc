@@ -36,6 +36,11 @@ TrainResult Trainer::Train(const text::Corpus& train,
                            const text::Corpus* dev) {
   TrainResult result;
   int epochs_since_best = 0;
+  // Snapshot of every parameter tensor at the best dev epoch, restored
+  // before returning so the caller gets best-epoch weights even when a
+  // patience break (or a worse final epoch) ends the run later.
+  const std::vector<Var> params = model_->Parameters();
+  std::vector<Tensor> best_params;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     EpochStats stats;
     stats.epoch = epoch;
@@ -47,6 +52,9 @@ TrainResult Trainer::Train(const text::Corpus& train,
         result.best_dev_f1 = stats.dev_f1;
         result.best_epoch = epoch;
         epochs_since_best = 0;
+        best_params.clear();
+        best_params.reserve(params.size());
+        for (const Var& p : params) best_params.push_back(p->value);
       } else {
         ++epochs_since_best;
       }
@@ -59,6 +67,11 @@ TrainResult Trainer::Train(const text::Corpus& train,
     if (dev != nullptr && config_.patience > 0 &&
         epochs_since_best >= config_.patience) {
       break;
+    }
+  }
+  if (!best_params.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = best_params[i];
     }
   }
   return result;

@@ -44,7 +44,9 @@ class Trainer {
   Trainer(NerModel* model, const TrainConfig& config);
 
   /// Full training run over `train`, optionally evaluating on `dev` each
-  /// epoch for early stopping and history.
+  /// epoch for early stopping and history. With a dev corpus the model's
+  /// parameters are restored to the best-dev-F1 epoch before returning, so
+  /// the trained model always carries best-epoch (not last-epoch) weights.
   TrainResult Train(const text::Corpus& train, const text::Corpus* dev);
 
   /// One incremental pass of `epochs` epochs (used by deep active learning,

@@ -1,12 +1,25 @@
 #include "data/gazetteer.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <set>
 
 #include "tensor/check.h"
 #include "tensor/rng.h"
+#include "tensor/serialize.h"
 
 namespace dlner::data {
+namespace {
+
+// Sanity caps for deserialization; a stream exceeding any of them is
+// corrupt, not merely large.
+constexpr uint32_t kMaxTypes = 4096;
+constexpr uint32_t kMaxEntries = 1u << 22;
+constexpr uint32_t kMaxPhraseTokens = 256;
+constexpr uint32_t kMaxTokenLen = 4096;
+
+}  // namespace
 
 int Gazetteer::TypeIndex(const std::string& type) {
   auto it = type_ids_.find(type);
@@ -118,6 +131,61 @@ std::vector<text::Span> Gazetteer::Annotate(
     }
   }
   return spans;
+}
+
+void Gazetteer::Save(std::ostream& os) const {
+  WriteU32(os, static_cast<uint32_t>(types_.size()));
+  for (const std::string& type : types_) WriteLenString(os, type);
+  WriteU32(os, static_cast<uint32_t>(num_entries_));
+  // Buckets are walked in sorted key order so the byte stream is
+  // deterministic; within a bucket, insertion order is kept because
+  // Annotate breaks equal-length ties by first-seen entry.
+  std::vector<const std::string*> keys;
+  keys.reserve(by_first_token_.size());
+  for (const auto& [key, bucket] : by_first_token_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* key : keys) {
+    for (const Entry& e : by_first_token_.at(*key)) {
+      WriteU32(os, static_cast<uint32_t>(e.type_index));
+      WriteU32(os, static_cast<uint32_t>(e.tokens.size()));
+      for (const std::string& tok : e.tokens) WriteLenString(os, tok);
+    }
+  }
+}
+
+bool Gazetteer::Load(std::istream& is, Gazetteer* gaz) {
+  Gazetteer loaded;
+  uint32_t n_types = 0;
+  if (!ReadU32(is, &n_types) || n_types > kMaxTypes) return false;
+  for (uint32_t i = 0; i < n_types; ++i) {
+    std::string type;
+    if (!ReadLenString(is, &type, kMaxTokenLen)) return false;
+    // Restore types explicitly (not via AddEntry) so types with zero
+    // surviving entries keep their feature column.
+    if (loaded.TypeIndex(type) != static_cast<int>(i)) return false;
+  }
+  uint32_t n_entries = 0;
+  if (!ReadU32(is, &n_entries) || n_entries > kMaxEntries) return false;
+  for (uint32_t i = 0; i < n_entries; ++i) {
+    uint32_t type_index = 0;
+    uint32_t n_tokens = 0;
+    if (!ReadU32(is, &type_index) || type_index >= n_types) return false;
+    if (!ReadU32(is, &n_tokens) || n_tokens == 0 ||
+        n_tokens > kMaxPhraseTokens) {
+      return false;
+    }
+    std::vector<std::string> tokens(n_tokens);
+    for (uint32_t t = 0; t < n_tokens; ++t) {
+      if (!ReadLenString(is, &tokens[t], kMaxTokenLen)) return false;
+      if (tokens[t].empty()) return false;
+    }
+    loaded.by_first_token_[tokens[0]].push_back(
+        {std::move(tokens), static_cast<int>(type_index)});
+    ++loaded.num_entries_;
+  }
+  *gaz = std::move(loaded);
+  return true;
 }
 
 }  // namespace dlner::data

@@ -8,6 +8,7 @@
 #define DLNER_DATA_GAZETTEER_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,15 @@ class Gazetteer {
   /// non-overlapping annotation of a token sequence.
   std::vector<text::Span> Annotate(
       const std::vector<std::string>& tokens) const;
+
+  /// Binary serialization (used by Pipeline checkpoints). Type order and
+  /// per-bucket entry order are preserved, so a loaded gazetteer produces
+  /// identical MatchFeatures / Annotate results.
+  void Save(std::ostream& os) const;
+
+  /// Restores a gazetteer written by Save(). Returns false on malformed or
+  /// truncated input; all allocations are bounded.
+  static bool Load(std::istream& is, Gazetteer* gaz);
 
  private:
   struct Entry {

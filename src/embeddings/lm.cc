@@ -1,8 +1,46 @@
 #include "embeddings/lm.h"
 
+#include <istream>
+#include <ostream>
+#include <sstream>
+
 #include "tensor/ops.h"
+#include "tensor/serialize.h"
 
 namespace dlner::embeddings {
+namespace {
+
+// Deserialization sanity caps: any saved LM exceeding them is corrupt.
+// Kept tight (real LM dims are tens) so a corrupt header that slips past
+// the range check still cannot request a large LSTM allocation.
+constexpr int kMaxLmDim = 1024;
+constexpr uint32_t kMaxVocabBlock = 1u << 26;  // 64 MB of vocab text
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(is);
+}
+
+void WriteVocab(std::ostream& os, const text::Vocabulary& vocab) {
+  std::ostringstream block;
+  vocab.Save(block);
+  WriteLenString(os, block.str());
+}
+
+bool ReadVocab(std::istream& is, text::Vocabulary* vocab) {
+  std::string data;
+  if (!ReadLenString(is, &data, kMaxVocabBlock)) return false;
+  std::istringstream block(data);
+  return text::Vocabulary::Load(block, vocab);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // CharLm.
@@ -14,6 +52,10 @@ CharLm::CharLm(const Config& config) : config_(config), rng_(config.seed) {
     char_vocab_.Add(std::string(1, static_cast<char>(c)));
   }
   char_vocab_.Freeze();
+  BuildModules();
+}
+
+void CharLm::BuildModules() {
   char_embedding_ = std::make_unique<Embedding>(
       char_vocab_.size(), config_.char_dim, &rng_, "charlm.emb");
   fwd_ = std::make_unique<LstmCell>(config_.char_dim, config_.hidden_dim,
@@ -24,6 +66,38 @@ CharLm::CharLm(const Config& config) : config_(config), rng_(config.seed) {
                                       &rng_, "charlm.fwd_out");
   bwd_out_ = std::make_unique<Linear>(config_.hidden_dim, char_vocab_.size(),
                                       &rng_, "charlm.bwd_out");
+}
+
+void CharLm::Save(std::ostream& os) const {
+  WritePod(os, config_.char_dim);
+  WritePod(os, config_.hidden_dim);
+  WritePod(os, config_.epochs);
+  WritePod(os, config_.lr);
+  WritePod(os, config_.seed);
+  WritePod(os, config_.max_chars);
+  WriteVocab(os, char_vocab_);
+  SaveParameters(os, Parameters());
+}
+
+std::unique_ptr<CharLm> CharLm::Load(std::istream& is) {
+  Config config;
+  if (!ReadPod(is, &config.char_dim)) return nullptr;
+  if (!ReadPod(is, &config.hidden_dim)) return nullptr;
+  if (!ReadPod(is, &config.epochs)) return nullptr;
+  if (!ReadPod(is, &config.lr)) return nullptr;
+  if (!ReadPod(is, &config.seed)) return nullptr;
+  if (!ReadPod(is, &config.max_chars)) return nullptr;
+  if (config.char_dim <= 0 || config.char_dim > kMaxLmDim ||
+      config.hidden_dim <= 0 || config.hidden_dim > kMaxLmDim) {
+    return nullptr;
+  }
+  auto lm = std::make_unique<CharLm>(config);
+  text::Vocabulary vocab;
+  if (!ReadVocab(is, &vocab)) return nullptr;
+  lm->char_vocab_ = std::move(vocab);
+  lm->BuildModules();  // resize to the loaded inventory
+  if (!LoadParameters(is, lm->Parameters())) return nullptr;
+  return lm;
 }
 
 std::vector<Var> CharLm::Parameters() const {
@@ -157,12 +231,7 @@ std::vector<Var> TokenLm::Parameters() const {
                          fwd_out_.get(), bwd_out_.get()});
 }
 
-Float TokenLm::Train(const std::vector<std::vector<std::string>>& sentences) {
-  for (const auto& sent : sentences) {
-    for (const std::string& w : sent) vocab_.Add(w);
-  }
-  vocab_.Freeze(config_.min_count);
-
+void TokenLm::BuildModules() {
   word_embedding_ = std::make_unique<Embedding>(
       vocab_.size(), config_.word_dim, &rng_, "tokenlm.emb");
   fwd_ = std::make_unique<LstmCell>(config_.word_dim, config_.hidden_dim,
@@ -173,6 +242,46 @@ Float TokenLm::Train(const std::vector<std::vector<std::string>>& sentences) {
                                       "tokenlm.fwd_out");
   bwd_out_ = std::make_unique<Linear>(config_.hidden_dim, vocab_.size(), &rng_,
                                       "tokenlm.bwd_out");
+}
+
+void TokenLm::Save(std::ostream& os) const {
+  DLNER_CHECK_MSG(trained_, "cannot save an untrained TokenLm");
+  WritePod(os, config_.word_dim);
+  WritePod(os, config_.hidden_dim);
+  WritePod(os, config_.epochs);
+  WritePod(os, config_.lr);
+  WritePod(os, config_.min_count);
+  WritePod(os, config_.seed);
+  WriteVocab(os, vocab_);
+  SaveParameters(os, Parameters());
+}
+
+std::unique_ptr<TokenLm> TokenLm::Load(std::istream& is) {
+  Config config;
+  if (!ReadPod(is, &config.word_dim)) return nullptr;
+  if (!ReadPod(is, &config.hidden_dim)) return nullptr;
+  if (!ReadPod(is, &config.epochs)) return nullptr;
+  if (!ReadPod(is, &config.lr)) return nullptr;
+  if (!ReadPod(is, &config.min_count)) return nullptr;
+  if (!ReadPod(is, &config.seed)) return nullptr;
+  if (config.word_dim <= 0 || config.word_dim > kMaxLmDim ||
+      config.hidden_dim <= 0 || config.hidden_dim > kMaxLmDim) {
+    return nullptr;
+  }
+  auto lm = std::make_unique<TokenLm>(config);
+  if (!ReadVocab(is, &lm->vocab_)) return nullptr;
+  lm->BuildModules();
+  lm->trained_ = true;
+  if (!LoadParameters(is, lm->Parameters())) return nullptr;
+  return lm;
+}
+
+Float TokenLm::Train(const std::vector<std::vector<std::string>>& sentences) {
+  for (const auto& sent : sentences) {
+    for (const std::string& w : sent) vocab_.Add(w);
+  }
+  vocab_.Freeze(config_.min_count);
+  BuildModules();
   trained_ = true;
 
   auto opt = std::make_unique<Adam>(Parameters(), config_.lr);

@@ -56,7 +56,17 @@ class CharLm : public Module {
   int dim() const { return 2 * config_.hidden_dim; }
   std::vector<Var> Parameters() const override;
 
+  /// Binary serialization: config + character vocabulary + parameters.
+  /// A loaded CharLm extracts bit-identical embeddings.
+  void Save(std::ostream& os) const;
+
+  /// Restores a CharLm written by Save(); null on malformed input.
+  static std::unique_ptr<CharLm> Load(std::istream& is);
+
  private:
+  // (Re)creates embedding/cells/output layers sized to char_vocab_.
+  void BuildModules();
+
   // Builds the char-id sequence of a sentence joined with spaces, plus the
   // [start, end] char index of each token.
   std::vector<int> CharIds(const std::vector<std::string>& tokens,
@@ -99,7 +109,17 @@ class TokenLm : public Module {
   std::vector<Var> Parameters() const override;
   const text::Vocabulary& vocab() const { return vocab_; }
 
+  /// Binary serialization: config + token vocabulary + parameters. Only a
+  /// trained TokenLm can be saved; a loaded one extracts bit-identically.
+  void Save(std::ostream& os) const;
+
+  /// Restores a TokenLm written by Save(); null on malformed input.
+  static std::unique_ptr<TokenLm> Load(std::istream& is);
+
  private:
+  // (Re)creates embedding/cells/output layers sized to vocab_.
+  void BuildModules();
+
   Config config_;
   Rng rng_;
   text::Vocabulary vocab_;

@@ -13,6 +13,10 @@ namespace {
 
 constexpr char kMagic[4] = {'D', 'L', 'N', 'R'};
 constexpr uint32_t kVersion = 1;
+// A parameter list longer than this is certainly corrupt.
+constexpr uint32_t kMaxParameterCount = 1u << 20;
+
+}  // namespace
 
 void WriteU32(std::ostream& os, uint32_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -23,7 +27,18 @@ bool ReadU32(std::istream& is, uint32_t* v) {
   return static_cast<bool>(is);
 }
 
-}  // namespace
+void WriteLenString(std::ostream& os, const std::string& s) {
+  WriteU32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadLenString(std::istream& is, std::string* s, uint32_t max_len) {
+  uint32_t len = 0;
+  if (!ReadU32(is, &len) || len > max_len) return false;
+  s->assign(len, '\0');
+  is.read(s->data(), len);
+  return static_cast<bool>(is);
+}
 
 void SaveTensor(std::ostream& os, const Tensor& t) {
   WriteU32(os, static_cast<uint32_t>(t.dim()));
@@ -39,11 +54,16 @@ bool LoadTensor(std::istream& is, Tensor* t) {
   uint32_t rank = 0;
   if (!ReadU32(is, &rank) || rank > 8) return false;
   std::vector<int> shape(rank);
+  std::uint64_t numel = 1;
   for (uint32_t i = 0; i < rank; ++i) {
     int32_t d = 0;
     is.read(reinterpret_cast<char*>(&d), sizeof(d));
     if (!is || d < 0) return false;
     shape[i] = d;
+    // numel <= kMaxTensorElements (2^26) and d < 2^31 here, so the product
+    // stays below 2^57 — no u64 overflow before the bound check.
+    numel *= static_cast<std::uint64_t>(d);
+    if (numel > kMaxTensorElements) return false;
   }
   Tensor loaded(shape);
   is.read(reinterpret_cast<char*>(loaded.data()),
@@ -72,7 +92,7 @@ bool LoadParameters(std::istream& is, const std::vector<Var>& params) {
   uint32_t version = 0;
   if (!ReadU32(is, &version) || version != kVersion) return false;
   uint32_t count = 0;
-  if (!ReadU32(is, &count)) return false;
+  if (!ReadU32(is, &count) || count > kMaxParameterCount) return false;
 
   std::unordered_map<std::string, Var> by_name;
   for (const Var& p : params) {
@@ -83,11 +103,8 @@ bool LoadParameters(std::istream& is, const std::vector<Var>& params) {
 
   size_t restored = 0;
   for (uint32_t k = 0; k < count; ++k) {
-    uint32_t name_len = 0;
-    if (!ReadU32(is, &name_len) || name_len > 4096) return false;
-    std::string name(name_len, '\0');
-    is.read(name.data(), name_len);
-    if (!is) return false;
+    std::string name;
+    if (!ReadLenString(is, &name, 4096)) return false;
     Tensor t;
     if (!LoadTensor(is, &t)) return false;
     auto it = by_name.find(name);

@@ -5,10 +5,13 @@
 //   per parameter: name_len u32 | name bytes | rank u32 | dims i32[rank] |
 //                  data f64[numel]
 // Loading verifies names and shapes so that a checkpoint can only be
-// restored into a structurally identical model.
+// restored into a structurally identical model, and every reader bounds
+// its allocations so corrupt or truncated input fails with `false`
+// instead of a crash or a huge allocation.
 #ifndef DLNER_TENSOR_SERIALIZE_H_
 #define DLNER_TENSOR_SERIALIZE_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -17,10 +20,31 @@
 
 namespace dlner {
 
+/// Upper bound on elements of a single deserialized tensor (512 MB of
+/// doubles) — far above any model in the toolkit, far below what a corrupt
+/// dim field could request.
+constexpr std::uint64_t kMaxTensorElements = 1ull << 26;
+
+// --- Primitive binary helpers shared by all checkpoint readers/writers ---
+
+/// Writes a little-endian u32.
+void WriteU32(std::ostream& os, uint32_t v);
+
+/// Reads a u32; returns false on a short stream.
+bool ReadU32(std::istream& is, uint32_t* v);
+
+/// Writes a u32-length-prefixed byte string.
+void WriteLenString(std::ostream& os, const std::string& s);
+
+/// Reads a length-prefixed string, rejecting lengths above `max_len`.
+bool ReadLenString(std::istream& is, std::string* s, uint32_t max_len);
+
 /// Writes one tensor.
 void SaveTensor(std::ostream& os, const Tensor& t);
 
-/// Reads one tensor; returns false on malformed input.
+/// Reads one tensor; returns false on malformed input. The total element
+/// count is bounded by kMaxTensorElements and the dim product is checked
+/// for overflow before anything is allocated.
 bool LoadTensor(std::istream& is, Tensor* t);
 
 /// Writes a named parameter list (names must be unique and non-empty).

@@ -34,13 +34,26 @@ bool ReadConll(std::istream& is, Corpus* corpus) {
 
   std::string line;
   while (std::getline(is, line)) {
+    // Windows line endings: strip the trailing '\r' before the blank-line
+    // check, otherwise "\r\n" sentence breaks never flush and every tag
+    // carries a '\r' suffix.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) {
       flush();
       continue;
     }
+    // CoNLL rows carry the token first and the NER tag in the LAST column
+    // (CoNLL-2003 is "token POS chunk tag"); intermediate columns are
+    // ignored, so plain 2-column files parse unchanged.
     std::istringstream fields(line);
-    std::string token, tag;
-    if (!(fields >> token >> tag)) return false;
+    std::string field, token, tag;
+    int n_fields = 0;
+    while (fields >> field) {
+      if (n_fields == 0) token = field;
+      tag = field;
+      ++n_fields;
+    }
+    if (n_fields < 2) return false;
     tokens.push_back(token);
     tags.push_back(tag);
   }

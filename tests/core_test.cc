@@ -161,6 +161,24 @@ TEST(TrainerTest, EarlyStoppingHonorsPatience) {
   EXPECT_GE(result.best_epoch, 0);
 }
 
+TEST(TrainerTest, TrainRestoresBestEpochParameters) {
+  text::Corpus corpus = SmallNews(30, 11);
+  NerConfig config = SmallConfig();
+  NerModel model(config, corpus, data::EntityTypesFor(Genre::kNews));
+  TrainConfig tc = FastTrain(40);
+  tc.lr = 0.05;  // deliberately jumpy so late epochs regress
+  tc.patience = 1;
+  Trainer trainer(&model, tc);
+  TrainResult result = trainer.Train(corpus, &corpus);
+  ASSERT_GE(result.best_epoch, 0);
+  // The returned model must carry best-epoch weights: re-evaluating the dev
+  // corpus reproduces best_dev_f1 exactly, even though the run continued
+  // past the best epoch before the patience break.
+  EXPECT_GT(result.history.size(), static_cast<size_t>(result.best_epoch) + 1);
+  EXPECT_LE(result.history.back().dev_f1, result.best_dev_f1);
+  EXPECT_DOUBLE_EQ(model.Evaluate(corpus).micro.f1(), result.best_dev_f1);
+}
+
 TEST(TrainerTest, IncrementalTrainEpochs) {
   text::Corpus corpus = SmallNews(20, 7);
   NerConfig config = SmallConfig();
@@ -198,7 +216,9 @@ TEST(PipelineTest, SaveLoadPreservesPredictions) {
   }
 }
 
-TEST(PipelineTest, SaveRefusesExternalResources) {
+TEST(PipelineTest, SaveLoadWithExternalResources) {
+  // Checkpoint format v2: resource-backed models serialize their resources
+  // into the checkpoint (full round-trips in serialize_test.cc).
   text::Corpus corpus = SmallNews(15, 10);
   data::Gazetteer gaz = data::Gazetteer::FromCorpus(corpus, 1.0, 1);
   Resources res;
@@ -207,7 +227,16 @@ TEST(PipelineTest, SaveRefusesExternalResources) {
   config.use_gazetteer = true;
   auto pipeline = Pipeline::Train(config, FastTrain(1), corpus, nullptr,
                                   data::EntityTypesFor(Genre::kNews), res);
-  EXPECT_FALSE(pipeline->Save(::testing::TempDir() + "/nope.bin"));
+  const std::string path = ::testing::TempDir() + "/dlner_gaz_pipeline.bin";
+  ASSERT_TRUE(pipeline->Save(path));
+  auto loaded = Pipeline::Load(path);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_NE(loaded->resources().gazetteer, nullptr);
+  EXPECT_EQ(loaded->resources().gazetteer->size(), gaz.size());
+  for (int i = 0; i < 5; ++i) {
+    const auto& tokens = corpus.sentences[i].tokens;
+    EXPECT_EQ(pipeline->Tag(tokens), loaded->Tag(tokens)) << "sentence " << i;
+  }
 }
 
 TEST(PipelineTest, LoadRejectsGarbage) {

@@ -283,5 +283,35 @@ TEST(ConllTest, MissingTrailingBlankLineStillParses) {
   EXPECT_EQ(c.sentences[0].spans[0], (Span{0, 1, "LOC"}));
 }
 
+TEST(ConllTest, CrlfLineEndingsParse) {
+  // Windows-formatted file: "\r\n" everywhere, including the sentence
+  // separator. Sentences must still flush and tags must carry no '\r'.
+  std::stringstream ss;
+  ss << "John B-PER\r\nSmith E-PER\r\n\r\nRome S-LOC\r\n";
+  Corpus c;
+  ASSERT_TRUE(ReadConll(ss, &c));
+  ASSERT_EQ(c.size(), 2);
+  EXPECT_EQ(c.sentences[0].tokens, (std::vector<std::string>{"John", "Smith"}));
+  ASSERT_EQ(c.sentences[0].spans.size(), 1u);
+  EXPECT_EQ(c.sentences[0].spans[0], (Span{0, 2, "PER"}));
+  ASSERT_EQ(c.sentences[1].spans.size(), 1u);
+  EXPECT_EQ(c.sentences[1].spans[0], (Span{0, 1, "LOC"}));
+}
+
+TEST(ConllTest, FourColumnRowsUseLastField) {
+  // Standard CoNLL-2003 layout: token POS chunk tag. The NER tag is the
+  // last column, not the second.
+  std::stringstream ss;
+  ss << "U.N. NNP I-NP S-ORG\n"
+     << "official NN I-NP O\n"
+     << "Ekeus NNP I-NP S-PER\n";
+  Corpus c;
+  ASSERT_TRUE(ReadConll(ss, &c));
+  ASSERT_EQ(c.size(), 1);
+  ASSERT_EQ(c.sentences[0].spans.size(), 2u);
+  EXPECT_EQ(c.sentences[0].spans[0], (Span{0, 1, "ORG"}));
+  EXPECT_EQ(c.sentences[0].spans[1], (Span{2, 3, "PER"}));
+}
+
 }  // namespace
 }  // namespace dlner::text

@@ -8,6 +8,7 @@
 //   dlner train    --train train.conll --model model.bin
 //                  [--dev dev.conll] [--encoder bilstm] [--decoder crf]
 //                  [--scheme bioes] [--char-cnn] [--char-rnn] [--shape]
+//                  [--gazetteer [coverage]] [--char-lm] [--token-lm]
 //                  [--epochs 12] [--lr 0.015] [--word-dropout 0.2]
 //   dlner tag      --model model.bin --text "John Smith visited Paris ."
 //   dlner tag      --model model.bin --in raw.conll --out tagged.conll
@@ -20,6 +21,7 @@
 
 #include "core/pipeline.h"
 #include "data/dataset.h"
+#include "embeddings/lm.h"
 #include "runtime/runtime.h"
 #include "text/conll.h"
 
@@ -137,6 +139,9 @@ int CmdTrain(const Args& args) {
   config.use_char_cnn = args.Has("char-cnn");
   config.use_char_rnn = args.Has("char-rnn");
   config.use_shape = args.Has("shape");
+  config.use_gazetteer = args.Has("gazetteer");
+  config.use_char_lm = args.Has("char-lm");
+  config.use_token_lm = args.Has("token-lm");
   config.word_dim = args.GetInt("word-dim", 24);
   config.hidden_dim = args.GetInt("hidden-dim", 24);
   config.word_unk_dropout = args.GetDouble("word-dropout", 0.2);
@@ -149,11 +154,50 @@ int CmdTrain(const Args& args) {
   tc.patience = has_dev ? args.GetInt("patience", 4) : 0;
   tc.verbose = args.Has("verbose");
 
+  // External resources built from the training data. They end up inside
+  // the checkpoint, so the saved model stays self-contained.
+  core::Resources res;
+  data::Gazetteer gaz;
+  std::unique_ptr<embeddings::CharLm> char_lm;
+  std::unique_ptr<embeddings::TokenLm> token_lm;
+  std::vector<std::vector<std::string>> lm_sentences;
+  if (config.use_char_lm || config.use_token_lm) {
+    for (const auto& s : train.sentences) {
+      if (!s.tokens.empty()) lm_sentences.push_back(s.tokens);
+    }
+  }
+  if (config.use_gazetteer) {
+    // "--gazetteer 0.7" keeps each distinct mention with probability 0.7;
+    // the bare flag keeps them all.
+    const std::string cov = args.Get("gazetteer", "true");
+    const double coverage = cov == "true" ? 1.0 : std::atof(cov.c_str());
+    gaz = data::Gazetteer::FromCorpus(train, coverage, config.seed);
+    res.gazetteer = &gaz;
+    std::printf("gazetteer: %d entries, %zu types\n", gaz.size(),
+                gaz.types().size());
+  }
+  if (config.use_char_lm) {
+    embeddings::CharLm::Config lc;
+    lc.seed = config.seed;
+    char_lm = std::make_unique<embeddings::CharLm>(lc);
+    std::printf("pre-training char-LM... nll=%.3f\n",
+                char_lm->Train(lm_sentences));
+    res.char_lm = char_lm.get();
+  }
+  if (config.use_token_lm) {
+    embeddings::TokenLm::Config lc;
+    lc.seed = config.seed;
+    token_lm = std::make_unique<embeddings::TokenLm>(lc);
+    std::printf("pre-training token-LM... nll=%.3f\n",
+                token_lm->Train(lm_sentences));
+    res.token_lm = token_lm.get();
+  }
+
   std::printf("training %s on %d sentences...\n",
               config.Describe().c_str(), train.size());
   auto pipeline = core::Pipeline::Train(config, tc, train,
                                         has_dev ? &dev : nullptr,
-                                        EntityTypesOf(train));
+                                        EntityTypesOf(train), res);
   if (has_dev) {
     std::printf("best dev F1 = %.3f\n", pipeline->train_result().best_dev_f1);
   }
@@ -250,6 +294,7 @@ void Usage() {
       "  generate --dataset NAME --n N --seed S --out FILE [--scheme bioes]\n"
       "  train    --train FILE --model FILE [--dev FILE] [--encoder E]\n"
       "           [--decoder D] [--char-cnn] [--char-rnn] [--shape]\n"
+      "           [--gazetteer [COVERAGE]] [--char-lm] [--token-lm]\n"
       "           [--epochs N] [--lr X] [--word-dropout X] [--verbose]\n"
       "           [--threads N]\n"
       "  tag      --model FILE (--text \"...\" | --in FILE [--out FILE])\n"
