@@ -18,33 +18,14 @@ namespace dlner::bench {
 /// Train/test pair where the test split injects out-of-vocabulary entities
 /// and genre-typical noise, so architectures differentiate the way they do
 /// on real corpora (memorizable synthetic data would saturate at F1=1).
-struct BenchData {
-  text::Corpus train;
-  text::Corpus dev;
-  text::Corpus test;
-};
+/// The generator lives in data::MakeOovSplit so the correctness harness
+/// (tests/support/) draws from exactly the same distribution.
+using BenchData = data::DataSplit;
 
 inline BenchData MakeBenchData(data::Genre genre, int train_size,
                                int test_size, uint64_t seed,
                                double test_oov = 0.35) {
-  data::GenOptions train_opts = data::DefaultOptionsFor(genre);
-  train_opts.num_sentences = train_size;
-  train_opts.seed = seed;
-
-  data::GenOptions test_opts = train_opts;
-  test_opts.num_sentences = test_size;
-  test_opts.seed = seed + 1;
-  test_opts.oov_entity_fraction = test_oov;
-
-  data::GenOptions dev_opts = test_opts;
-  dev_opts.num_sentences = test_size / 2 + 1;
-  dev_opts.seed = seed + 2;
-
-  BenchData bd;
-  bd.train = data::GenerateCorpus(genre, train_opts);
-  bd.dev = data::GenerateCorpus(genre, dev_opts);
-  bd.test = data::GenerateCorpus(genre, test_opts);
-  return bd;
+  return data::MakeOovSplit(genre, train_size, test_size, seed, test_oov);
 }
 
 /// Trains a model described by `config` and returns its exact-match test

@@ -57,13 +57,17 @@ eval::ExactResult Pipeline::Evaluate(const text::Corpus& corpus) const {
 }
 
 bool Pipeline::Save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  return Save(os);
+}
+
+bool Pipeline::Save(std::ostream& os) const {
   const NerConfig& config = model_->config();
   // Every enabled resource must still be reachable to be checkpointed.
   if (config.use_gazetteer && resources_.gazetteer == nullptr) return false;
   if (config.use_char_lm && resources_.char_lm == nullptr) return false;
   if (config.use_token_lm && resources_.token_lm == nullptr) return false;
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return false;
   os.write(kMagic, sizeof(kMagic));
   WriteConfig(os, config);
   // Entity types.
@@ -88,6 +92,10 @@ bool Pipeline::Save(const std::string& path) const {
 std::unique_ptr<Pipeline> Pipeline::Load(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return nullptr;
+  return Load(is);
+}
+
+std::unique_ptr<Pipeline> Pipeline::Load(std::istream& is) {
   char magic[sizeof(kMagic)];
   is.read(magic, sizeof(magic));
   if (!is || std::string(magic, sizeof(magic)) !=

@@ -4,6 +4,7 @@
 #ifndef DLNER_CORE_PIPELINE_H_
 #define DLNER_CORE_PIPELINE_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,11 +46,19 @@ class Pipeline {
   /// initialize the word embedding, which is saved as a parameter.
   bool Save(const std::string& path) const;
 
+  /// Stream variant of Save(). The file overload delegates here; exposed so
+  /// checkpoints can be written to in-memory buffers (tests, fuzzers,
+  /// network transports) without touching the filesystem.
+  bool Save(std::ostream& os) const;
+
   /// Restores a pipeline saved with Save(), reconstructing a self-contained
   /// copy of any serialized resources (owned by the pipeline). Returns null
   /// on any malformed, truncated, or version-mismatched checkpoint; no
   /// failure mode crashes or allocates unbounded memory.
   static std::unique_ptr<Pipeline> Load(const std::string& path);
+
+  /// Stream variant of Load(); same rejection guarantees.
+  static std::unique_ptr<Pipeline> Load(std::istream& is);
 
   NerModel* model() { return model_.get(); }
   const TrainResult& train_result() const { return train_result_; }

@@ -36,6 +36,28 @@ DataSplit SplitCorpus(const text::Corpus& corpus, double train_frac,
   return split;
 }
 
+DataSplit MakeOovSplit(Genre genre, int train_size, int test_size,
+                       uint64_t seed, double test_oov) {
+  GenOptions train_opts = DefaultOptionsFor(genre);
+  train_opts.num_sentences = train_size;
+  train_opts.seed = seed;
+
+  GenOptions test_opts = train_opts;
+  test_opts.num_sentences = test_size;
+  test_opts.seed = seed + 1;
+  test_opts.oov_entity_fraction = test_oov;
+
+  GenOptions dev_opts = test_opts;
+  dev_opts.num_sentences = test_size / 2 + 1;
+  dev_opts.seed = seed + 2;
+
+  DataSplit split;
+  split.train = GenerateCorpus(genre, train_opts);
+  split.dev = GenerateCorpus(genre, dev_opts);
+  split.test = GenerateCorpus(genre, test_opts);
+  return split;
+}
+
 CorpusStats ComputeStats(const text::Corpus& corpus) {
   CorpusStats stats;
   stats.sentences = corpus.size();

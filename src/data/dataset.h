@@ -26,6 +26,14 @@ struct DataSplit {
 DataSplit SplitCorpus(const text::Corpus& corpus, double train_frac,
                       double dev_frac, uint64_t seed);
 
+/// Seeded train/dev/test triple from one genre where the dev and test
+/// splits inject out-of-vocabulary entity surfaces (fraction `test_oov`)
+/// plus the genre's typical noise, so models differentiate the way they do
+/// on real corpora instead of memorizing the synthetic name banks. Shared
+/// by the benchmark harnesses and the correctness-test corpus generators.
+DataSplit MakeOovSplit(Genre genre, int train_size, int test_size,
+                       uint64_t seed, double test_oov = 0.35);
+
 /// Descriptive statistics (the columns of the survey's Table 1 plus the
 /// density/OOV measures its discussion relies on).
 struct CorpusStats {

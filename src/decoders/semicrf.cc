@@ -132,6 +132,17 @@ Var SemiCrfDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
 }
 
 std::vector<text::Span> SemiCrfDecoder::Predict(const Var& encodings) const {
+  std::vector<text::Span> spans;
+  for (const Segment& seg : ViterbiSegments(encodings)) {
+    if (seg.label != 0) {
+      spans.push_back({seg.start, seg.end, entity_types_[seg.label - 1]});
+    }
+  }
+  return spans;
+}
+
+std::vector<SemiCrfDecoder::Segment> SemiCrfDecoder::ViterbiSegments(
+    const Var& encodings) const {
   const int t_len = encodings->value.rows();
   const int y = num_labels();
   const Tensor emissions = proj_->Apply(encodings)->value;
@@ -189,21 +200,19 @@ std::vector<text::Span> SemiCrfDecoder::Predict(const Var& encodings) const {
     }
   }
   // Reconstruct segments right-to-left.
-  std::vector<text::Span> spans;
+  std::vector<Segment> segments;
   int j = t_len;
   int label = best_label;
   while (j > 0) {
     const Back& b = parent[j][label];
-    if (label != 0) {
-      spans.push_back({b.i, j, entity_types_[label - 1]});
-    }
+    segments.push_back({b.i, j, label});
     const int next_label = b.label;
     j = b.i;
     label = next_label;
     if (j > 0) DLNER_CHECK_GE(label, 0);
   }
-  std::reverse(spans.begin(), spans.end());
-  return spans;
+  std::reverse(segments.begin(), segments.end());
+  return segments;
 }
 
 }  // namespace dlner::decoders

@@ -35,12 +35,22 @@ class SemiCrfDecoder : public TagDecoder {
     int start;
     int end;
     int label;  // 0 = O, 1.. = entity_types()[label-1]
+
+    friend bool operator==(const Segment& a, const Segment& b) {
+      return a.start == b.start && a.end == b.end && a.label == b.label;
+    }
   };
   Var SegmentationScore(const Var& encodings,
                         const std::vector<Segment>& segments) const;
 
   /// Gold segmentation of a sentence (spans + length-1 O segments).
   std::vector<Segment> GoldSegmentation(const text::Sentence& gold) const;
+
+  /// Segmental Viterbi: the complete argmax segmentation, including O
+  /// segments, in left-to-right order. Predict() returns its entity spans;
+  /// exposed separately so the full decode can be checked against
+  /// brute-force enumeration over all segmentations.
+  std::vector<Segment> ViterbiSegments(const Var& encodings) const;
 
   const std::vector<std::string>& entity_types() const {
     return entity_types_;

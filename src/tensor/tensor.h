@@ -8,6 +8,7 @@
 #ifndef DLNER_TENSOR_TENSOR_H_
 #define DLNER_TENSOR_TENSOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,13 @@ class Tensor {
 
   /// Euclidean norm of all elements.
   Float Norm() const;
+
+  /// Order- and bit-sensitive FNV-1a hash over the shape and the raw bytes
+  /// of every element. Two tensors fingerprint equally iff their shapes
+  /// match and every element is bit-identical (distinguishing signed zeros
+  /// and NaN payloads), which is what the determinism and round-trip
+  /// invariance tests compare.
+  std::uint64_t Fingerprint() const;
 
   /// True when shapes and all elements match exactly.
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }

@@ -117,6 +117,75 @@ TEST(RelaxedMatchTest, NoOverlapNoCredit) {
   EXPECT_EQ(r.text.tp, 0);
 }
 
+TEST(ExactMatchTest, EmptyCorpusYieldsAllZeros) {
+  const ExactResult r = EvaluateExact({}, {});
+  EXPECT_EQ(r.micro.tp, 0);
+  EXPECT_EQ(r.micro.fp, 0);
+  EXPECT_EQ(r.micro.fn, 0);
+  EXPECT_EQ(r.macro_f1, 0.0);
+  EXPECT_TRUE(r.per_type.empty());
+  EXPECT_EQ(r.micro.f1(), 0.0);
+}
+
+TEST(ExactMatchTest, SentenceWithNoGoldSpans) {
+  // No gold, no predictions: contributes nothing (no phantom types).
+  ExactMatchEvaluator ev;
+  ev.Add({}, {});
+  EXPECT_TRUE(ev.Result().per_type.empty());
+
+  // No gold but predictions: pure false positives.
+  ev.Add({}, {{0, 1, "PER"}, {2, 3, "LOC"}});
+  const ExactResult r = ev.Result();
+  EXPECT_EQ(r.micro.tp, 0);
+  EXPECT_EQ(r.micro.fp, 2);
+  EXPECT_EQ(r.micro.fn, 0);
+  EXPECT_EQ(r.per_type.at("PER").fp, 1);
+  EXPECT_EQ(r.per_type.at("LOC").fp, 1);
+}
+
+TEST(ExactMatchTest, PredictionOnlyTypeEntersMacroDenominator) {
+  // Gold type predicted perfectly; a second type appears only in
+  // predictions. Its F1 of 0 must still be averaged in, halving macro-F1.
+  ExactMatchEvaluator ev;
+  ev.Add({{0, 1, "GOLD"}}, {{0, 1, "GOLD"}, {2, 3, "SPURIOUS"}});
+  const ExactResult r = ev.Result();
+  ASSERT_EQ(r.per_type.size(), 2u);
+  EXPECT_EQ(r.per_type.at("SPURIOUS").fp, 1);
+  EXPECT_DOUBLE_EQ(r.per_type.at("GOLD").f1(), 1.0);
+  EXPECT_DOUBLE_EQ(r.macro_f1, 0.5);
+}
+
+TEST(RelaxedMatchTest, NestedGoldSpansAreMatchedOneToOne) {
+  // Nested gold mentions: one prediction overlapping both may only consume
+  // one of them, the other stays a false negative.
+  RelaxedMatchEvaluator ev;
+  ev.Add({{0, 5, "PER"}, {1, 2, "PER"}}, {{1, 3, "PER"}});
+  const RelaxedResult r = ev.Result();
+  EXPECT_EQ(r.type.tp, 1);
+  EXPECT_EQ(r.type.fp, 0);
+  EXPECT_EQ(r.type.fn, 1);
+}
+
+TEST(RelaxedMatchTest, OverlappingPredictionsCannotReuseOneGoldSpan) {
+  // Two predictions overlapping the same single gold span: the second gets
+  // no credit in either dimension.
+  RelaxedMatchEvaluator ev;
+  ev.Add({{0, 4, "LOC"}}, {{0, 4, "LOC"}, {1, 3, "LOC"}});
+  const RelaxedResult r = ev.Result();
+  EXPECT_EQ(r.type.tp, 1);
+  EXPECT_EQ(r.type.fp, 1);
+  EXPECT_EQ(r.text.tp, 1);
+  EXPECT_EQ(r.text.fp, 1);
+  EXPECT_EQ(r.type.fn, 0);
+}
+
+TEST(RelaxedMatchTest, EmptyCorpusYieldsZeroMucF1) {
+  const RelaxedResult r = EvaluateRelaxed({}, {});
+  EXPECT_EQ(r.type.tp + r.type.fp + r.type.fn, 0);
+  EXPECT_EQ(r.text.tp + r.text.fp + r.text.fn, 0);
+  EXPECT_EQ(r.muc_f1, 0.0);
+}
+
 TEST(BootstrapTest, DegenerateAllCorrectIsTightAtOne) {
   std::vector<std::vector<Span>> gold(20, {{0, 1, "X"}});
   Interval ci = BootstrapMicroF1(gold, gold, 200, 5);

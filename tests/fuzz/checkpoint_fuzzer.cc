@@ -1,0 +1,26 @@
+// libFuzzer entry point for the checkpoint reader: any byte string must
+// either load into a usable pipeline or be rejected with nullptr. Mirrors
+// tests/fuzz_test.cc's deterministic loop but lets coverage guidance search
+// the input space. Seed corpora: save any trained pipeline to a file.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "text/types.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), size));
+  const auto pipeline = dlner::core::Pipeline::Load(is);
+  if (pipeline != nullptr) {
+    const std::vector<std::string> probe = {"Alice", "visited", "Paris"};
+    const auto spans = pipeline->Tag(probe);
+    if (!dlner::text::SpansAreValid(spans, static_cast<int>(probe.size()))) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

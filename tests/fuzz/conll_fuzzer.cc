@@ -1,0 +1,24 @@
+// libFuzzer entry point for the CoNLL reader: any byte string must either
+// parse into a corpus whose spans are structurally valid or be rejected
+// with false. Seed corpora: any CoNLL-format file.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "text/conll.h"
+#include "text/types.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), size));
+  dlner::text::Corpus corpus;
+  if (dlner::text::ReadConll(is, &corpus)) {
+    for (const dlner::text::Sentence& s : corpus.sentences) {
+      if (!dlner::text::SpansAreValid(s.spans, s.size())) {
+        __builtin_trap();
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "support/mutate.h"
+
+#include <algorithm>
+
+namespace dlner::testsup {
+namespace {
+
+// Offset biased toward the first 64 bytes half the time: that is where
+// magic strings, version fields, and top-level counts live, and corruptions
+// there reach the most distinct reader branches.
+size_t PickOffset(size_t len, Rng* rng) {
+  if (len == 0) return 0;
+  const size_t header = std::min<size_t>(len, 64);
+  if (rng->Bernoulli(0.5)) {
+    return static_cast<size_t>(rng->UniformInt(0, static_cast<int>(header) - 1));
+  }
+  return static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int>(len) - 1));
+}
+
+}  // namespace
+
+std::string MutateBytes(const std::string& base, const std::string& other,
+                        Rng* rng) {
+  std::string s = base;
+  // Apply 1-3 stacked mutations; single-bit corruptions alone leave most of
+  // the stream valid, stacking reaches deeper reader states.
+  const int rounds = rng->UniformInt(1, 3);
+  for (int round = 0; round < rounds; ++round) {
+    switch (rng->UniformInt(0, 5)) {
+      case 0: {  // truncate to a random prefix
+        if (s.empty()) break;
+        s.resize(static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int>(s.size()) - 1)));
+        break;
+      }
+      case 1: {  // flip one bit
+        if (s.empty()) break;
+        const size_t at = PickOffset(s.size(), rng);
+        s[at] = static_cast<char>(s[at] ^ (1 << rng->UniformInt(0, 7)));
+        break;
+      }
+      case 2: {  // overwrite a byte with an adversarial value
+        if (s.empty()) break;
+        static constexpr unsigned char kEvil[] = {0x00, 0x01, 0x7f, 0x80,
+                                                  0xfe, 0xff};
+        s[PickOffset(s.size(), rng)] = static_cast<char>(
+            kEvil[rng->UniformInt(0, sizeof(kEvil) - 1)]);
+        break;
+      }
+      case 3: {  // splice: prefix of one input + suffix of the other
+        const std::string& donor = other.empty() ? base : other;
+        const size_t cut_a = PickOffset(s.size() + 1, rng);
+        const size_t cut_b = PickOffset(donor.size() + 1, rng);
+        s = s.substr(0, cut_a) + donor.substr(std::min(cut_b, donor.size()));
+        break;
+      }
+      case 4: {  // duplicate an internal block in place
+        if (s.size() < 2) break;
+        const size_t at = PickOffset(s.size(), rng);
+        const size_t n = std::min<size_t>(
+            s.size() - at, static_cast<size_t>(rng->UniformInt(1, 16)));
+        s.insert(at, s.substr(at, n));
+        break;
+      }
+      default: {  // delete an internal block
+        if (s.empty()) break;
+        const size_t at = PickOffset(s.size(), rng);
+        const size_t n = std::min<size_t>(
+            s.size() - at, static_cast<size_t>(rng->UniformInt(1, 16)));
+        s.erase(at, n);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace dlner::testsup

@@ -1,0 +1,26 @@
+// Deterministic structure-aware byte mutation for fuzzing binary readers.
+//
+// Every strategy draws from the caller's seeded Rng, so a failing iteration
+// index reproduces the exact corrupt input. The mix is tuned for
+// length-prefixed binary formats: header-biased corruption attacks magic
+// and count fields, truncation attacks every reader's short-stream path,
+// bit flips attack value decoding, and splices of two valid inputs attack
+// block-boundary confusion.
+#ifndef DLNER_TESTS_SUPPORT_MUTATE_H_
+#define DLNER_TESTS_SUPPORT_MUTATE_H_
+
+#include <string>
+
+#include "tensor/rng.h"
+
+namespace dlner::testsup {
+
+/// One random mutation of `base`. `other` (possibly empty) donates bytes
+/// for splice mutations — ideally a valid input of the same format with a
+/// different internal layout.
+std::string MutateBytes(const std::string& base, const std::string& other,
+                        Rng* rng);
+
+}  // namespace dlner::testsup
+
+#endif  // DLNER_TESTS_SUPPORT_MUTATE_H_

@@ -1,0 +1,53 @@
+// Brute-force oracles for the structured decoders and the scorer.
+//
+// The CRF and semi-CRF dynamic programs admit exact small-n oracles: path
+// (resp. segmentation) enumeration over the decoder's own score primitives.
+// The enumerations check the *recursions* — forward log-partition, Viterbi,
+// forward-backward marginals — against sums/argmaxes that cannot get the
+// recursion wrong because they do not use one. Keep K^T (resp. the
+// segmentation count) in the low thousands.
+#ifndef DLNER_TESTS_SUPPORT_ORACLES_H_
+#define DLNER_TESTS_SUPPORT_ORACLES_H_
+
+#include <vector>
+
+#include "decoders/crf.h"
+#include "decoders/semicrf.h"
+#include "eval/metrics.h"
+#include "tensor/tensor.h"
+
+namespace dlner::testsup {
+
+/// Exhaustive enumeration of all K^T tag paths of a CRF.
+struct CrfBruteForce {
+  Float log_partition = 0.0;
+  std::vector<int> best_path;        // argmax over all paths
+  Float best_score = 0.0;
+  std::vector<int> best_valid_path;  // argmax over scheme-valid paths
+  Float best_valid_score = 0.0;
+  Tensor marginals;                  // [T, K] exact posteriors
+};
+CrfBruteForce EnumerateCrf(const decoders::CrfDecoder& dec,
+                           const Var& emissions);
+
+/// Exhaustive enumeration of all segmentations of a semi-CRF (O segments
+/// restricted to length 1, segment length capped at max_segment_len()).
+struct SemiCrfBruteForce {
+  Float log_partition = 0.0;
+  std::vector<decoders::SemiCrfDecoder::Segment> best_segments;
+  Float best_score = 0.0;
+};
+SemiCrfBruteForce EnumerateSemiCrf(const decoders::SemiCrfDecoder& dec,
+                                   const Var& encodings);
+
+/// Independent exact-match scorer: per-sentence multiset intersection on
+/// (start, end, type) keys instead of the evaluator's greedy matching. For
+/// exact-equality matching the two formulations are provably equivalent,
+/// so any count disagreement is a bug in one of them.
+eval::ExactResult OracleExactMatch(
+    const std::vector<std::vector<text::Span>>& gold,
+    const std::vector<std::vector<text::Span>>& predicted);
+
+}  // namespace dlner::testsup
+
+#endif  // DLNER_TESTS_SUPPORT_ORACLES_H_
