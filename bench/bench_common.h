@@ -3,7 +3,6 @@
 #ifndef DLNER_BENCH_BENCH_COMMON_H_
 #define DLNER_BENCH_BENCH_COMMON_H_
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -12,6 +11,7 @@
 #include "data/gazetteer.h"
 #include "embeddings/lm.h"
 #include "embeddings/sgns.h"
+#include "obs/obs.h"
 
 namespace dlner::bench {
 
@@ -44,19 +44,9 @@ inline double TrainAndScore(const core::NerConfig& config,
   return model.Evaluate(data.test).micro.f1();
 }
 
-/// Wall-clock helper.
-class Stopwatch {
- public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  double Seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+/// Wall-clock helper — the observability subsystem's monotonic stopwatch,
+/// re-exported under the historical bench name.
+using Stopwatch = obs::Stopwatch;
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

@@ -2,9 +2,12 @@
 // corpus-level Evaluate in sentences/sec for the softmax/CRF decoders
 // crossed with the BiLSTM/CNN encoders at 1..8 threads, plus a
 // single-thread MatMul kernel microbenchmark (blocked raw-pointer kernel vs
-// the bounds-checked triple loop it replaced). Writes machine-readable
-// results to --out (default BENCH_throughput.json, intended to be run from
-// the repo root and committed).
+// the bounds-checked triple loop it replaced). Results are recorded into
+// the obs::Metrics registry and written as a dlner-metrics-v1 snapshot to
+// --out (default BENCH_throughput.json, intended to be run from the repo
+// root and committed). Timing loops run with collection disabled so the
+// numbers measure the zero-overhead path; the registry is populated
+// afterwards.
 #include <algorithm>
 #include <cstdlib>
 #include <string>
@@ -13,6 +16,7 @@
 
 #include "bench/bench_common.h"
 #include "core/model.h"
+#include "obs/metrics.h"
 #include "runtime/runtime.h"
 #include "tensor/ops.h"
 
@@ -164,35 +168,35 @@ int main(int argc, char** argv) {
   std::printf("  blocked raw kernel : %6.3f GFLOP/s\n", mm.kernel_gflops);
   std::printf("  speedup            : %6.2fx\n", mm.speedup);
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n", hw);
-  std::fprintf(f, "  \"corpus_sentences\": %d,\n", corpus.size());
-  std::fprintf(f, "  \"models\": [\n");
-  for (size_t r = 0; r < runs.size(); ++r) {
-    const ModelRun& run = runs[r];
-    std::fprintf(f, "    {\"name\": \"%s\", \"throughput\": {",
-                 run.name.c_str());
+  // Publish everything through the metrics registry and snapshot it.
+  // Collection was off during the timing loops; flipping it on now only
+  // affects bookkeeping done below.
+  obs::EnableMetrics(true);
+  obs::Metrics& m = obs::Metrics::Get();
+  m.gauge("bench.hardware_concurrency")->Set(static_cast<double>(hw));
+  m.gauge("bench.corpus_sentences")->Set(static_cast<double>(corpus.size()));
+  for (const ModelRun& run : runs) {
+    obs::Series* s = m.series("bench.throughput." + run.name +
+                              ".sentences_per_sec");
     double t1 = 0.0, t4 = 0.0;
     for (size_t i = 0; i < run.threads.size(); ++i) {
-      std::fprintf(f, "%s\"%d\": %.1f", i == 0 ? "" : ", ", run.threads[i],
-                   run.sentences_per_sec[i]);
+      s->Append(static_cast<double>(run.threads[i]),
+                run.sentences_per_sec[i]);
       if (run.threads[i] == 1) t1 = run.sentences_per_sec[i];
       if (run.threads[i] == 4) t4 = run.sentences_per_sec[i];
     }
-    std::fprintf(f, "}, \"speedup_4t\": %.2f}%s\n", t1 > 0.0 ? t4 / t1 : 0.0,
-                 r + 1 < runs.size() ? "," : "");
+    m.gauge("bench.throughput." + run.name + ".speedup_4t")
+        ->Set(t1 > 0.0 ? t4 / t1 : 0.0);
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f,
-               "  \"matmul\": {\"m\": 40, \"k\": 48, \"n\": 96, "
-               "\"naive_gflops\": %.3f, \"kernel_gflops\": %.3f, "
-               "\"speedup\": %.2f}\n}\n",
-               mm.naive_gflops, mm.kernel_gflops, mm.speedup);
-  std::fclose(f);
+  m.gauge("bench.matmul.naive_gflops")->Set(mm.naive_gflops);
+  m.gauge("bench.matmul.kernel_gflops")->Set(mm.kernel_gflops);
+  m.gauge("bench.matmul.speedup")->Set(mm.speedup);
+  // Thread-pool counters from the measured Evaluate runs.
+  runtime::Runtime::Get().PublishMetrics();
+  if (!m.WriteJson(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

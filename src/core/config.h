@@ -64,6 +64,18 @@ struct NerConfig {
   /// trained it, and appending fields would break the binary format.
   int threads = -1;
 
+  // --- Observability (see docs/OBSERVABILITY.md) ---
+  // Like `threads`, these act on the process-wide state at model
+  // construction and are deliberately NOT serialized: checkpoints
+  // round-trip untouched and the v2 binary format is unchanged. -1 always
+  // means "leave the current process-wide setting alone".
+  /// Structured-log threshold: 0=debug 1=info 2=warn 3=error 4=off.
+  int log_level = -1;
+  /// Span tracing (obs::Tracer): 0 disables, 1 enables.
+  int collect_traces = -1;
+  /// Metric collection (obs::Metrics): 0 disables, 1 enables.
+  int collect_metrics = -1;
+
   /// Short human-readable architecture label, e.g.
   /// "word+charCNN / BiLSTM / CRF".
   std::string Describe() const;

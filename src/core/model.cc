@@ -1,5 +1,6 @@
 #include "core/model.h"
 
+#include "obs/trace.h"
 #include "runtime/runtime.h"
 
 #include "decoders/crf.h"
@@ -33,6 +34,17 @@ NerModel::NerModel(const NerConfig& config, text::Vocabulary word_vocab,
       entity_types_(std::move(entity_types)) {
   DLNER_CHECK(!entity_types_.empty());
   if (config_.threads >= 0) runtime::Runtime::Get().SetThreads(config_.threads);
+  // Observability knobs mirror `threads`: they configure process-wide
+  // state at construction and -1 leaves the current setting alone.
+  if (config_.log_level >= 0) {
+    obs::SetLogLevel(static_cast<obs::LogLevel>(config_.log_level));
+  }
+  if (config_.collect_traces >= 0) {
+    obs::EnableTracing(config_.collect_traces != 0);
+  }
+  if (config_.collect_metrics >= 0) {
+    obs::EnableMetrics(config_.collect_metrics != 0);
+  }
   Build(resources);
 }
 
@@ -150,32 +162,69 @@ void NerModel::Build(const Resources& resources) {
   } else {
     DLNER_CHECK_MSG(false, "unknown decoder kind: " << config_.decoder);
   }
+
+  // Per-module timing instruments (survey Section 5.2's "effectiveness
+  // measure" extended to cost: the encoder/decoder latency accounting the
+  // ID-CNN line of work argues for). Pointers are process-stable.
+  obs::Metrics& metrics = obs::Metrics::Get();
+  repr_forward_us_ = metrics.histogram("representation.forward_us");
+  encoder_forward_us_ =
+      metrics.histogram("encoder." + config_.encoder + ".forward_us");
+  decoder_loss_us_ =
+      metrics.histogram("decoder." + config_.decoder + ".loss_us");
+  decoder_decode_us_ =
+      metrics.histogram("decoder." + config_.decoder + ".decode_us");
 }
+
+namespace {
+
+// Runs `fn`, recording its wall time into `hist` when metric collection is
+// on. The disabled path is one relaxed load.
+template <typename Fn>
+auto Timed(obs::Histogram* hist, Fn&& fn) {
+  if (!obs::MetricsEnabled() || hist == nullptr) return fn();
+  obs::Stopwatch sw;
+  auto out = fn();
+  hist->Observe(sw.Micros());
+  return out;
+}
+
+}  // namespace
 
 Var NerModel::Represent(const std::vector<std::string>& tokens,
                         bool training) const {
-  return representation_->Forward(tokens, training);
+  obs::ScopedSpan span("embed");
+  return Timed(repr_forward_us_,
+               [&] { return representation_->Forward(tokens, training); });
 }
 
 Var NerModel::Encode(const Var& representation, bool training) const {
-  return encoder_->Encode(representation, training);
+  obs::ScopedSpan span("encode");
+  return Timed(encoder_forward_us_, [&] {
+    return encoder_->Encode(representation, training);
+  });
 }
 
 Var NerModel::EncodeTokens(const Var& representation,
                            const std::vector<std::string>& tokens,
                            bool training) const {
-  if (recursive_encoder_ != nullptr) {
-    return recursive_encoder_->EncodeTree(
-        representation, encoders::BuildHeuristicTree(tokens));
-  }
-  return encoder_->Encode(representation, training);
+  obs::ScopedSpan span("encode");
+  return Timed(encoder_forward_us_, [&]() -> Var {
+    if (recursive_encoder_ != nullptr) {
+      return recursive_encoder_->EncodeTree(
+          representation, encoders::BuildHeuristicTree(tokens));
+    }
+    return encoder_->Encode(representation, training);
+  });
 }
 
 Var NerModel::LossFromRepresentation(const Var& representation,
                                      const text::Sentence& gold,
                                      bool training) const {
-  return decoder_->Loss(EncodeTokens(representation, gold.tokens, training),
-                        gold);
+  Var encoded = EncodeTokens(representation, gold.tokens, training);
+  obs::ScopedSpan span("loss");
+  return Timed(decoder_loss_us_,
+               [&] { return decoder_->Loss(encoded, gold); });
 }
 
 Var NerModel::Loss(const text::Sentence& sentence, bool training) {
@@ -189,7 +238,10 @@ std::vector<text::Span> NerModel::Predict(
   DLNER_CHECK(!tokens.empty());
   NoGradGuard no_grad;
   Var rep = Represent(tokens, /*training=*/false);
-  return decoder_->Predict(EncodeTokens(rep, tokens, /*training=*/false));
+  Var encoded = EncodeTokens(rep, tokens, /*training=*/false);
+  obs::ScopedSpan span("decode");
+  return Timed(decoder_decode_us_,
+               [&] { return decoder_->Predict(encoded); });
 }
 
 namespace {
@@ -198,10 +250,40 @@ namespace {
 // amortize dispatch, fine enough to balance uneven sentence lengths.
 constexpr std::int64_t kSentenceGrain = 8;
 
+std::int64_t CountTokens(const text::Corpus& corpus) {
+  std::int64_t tokens = 0;
+  for (const auto& s : corpus.sentences) {
+    tokens += static_cast<std::int64_t>(s.tokens.size());
+  }
+  return tokens;
+}
+
+// Publishes corpus-pass throughput under `prefix` (e.g. "eval"):
+// cumulative sentence/token/wall counters plus latest-rate gauges.
+void RecordCorpusThroughput(const char* prefix, const text::Corpus& corpus,
+                            double seconds) {
+  const std::string p(prefix);
+  const std::int64_t tokens = CountTokens(corpus);
+  obs::Metrics& m = obs::Metrics::Get();
+  m.counter(p + ".sentences")->Add(corpus.sentences.size());
+  m.counter(p + ".tokens")->Add(tokens);
+  m.counter(p + ".wall_us")
+      ->Add(static_cast<std::int64_t>(seconds * 1e6));
+  if (seconds > 0.0) {
+    m.gauge(p + ".sentences_per_sec")
+        ->Set(static_cast<double>(corpus.sentences.size()) / seconds);
+    m.gauge(p + ".tokens_per_sec")
+        ->Set(static_cast<double>(tokens) / seconds);
+  }
+}
+
 }  // namespace
 
 std::vector<std::vector<text::Span>> NerModel::PredictCorpus(
     const text::Corpus& corpus) const {
+  obs::ScopedSpan span("predict_corpus");
+  const bool timed = obs::MetricsEnabled();
+  obs::Stopwatch sw;
   const auto& sentences = corpus.sentences;
   std::vector<std::vector<text::Span>> predicted(sentences.size());
   runtime::ParallelFor(
@@ -213,10 +295,14 @@ std::vector<std::vector<text::Span>> NerModel::PredictCorpus(
           }
         }
       });
+  if (timed) RecordCorpusThroughput("tag", corpus, sw.Seconds());
   return predicted;
 }
 
 eval::ExactResult NerModel::Evaluate(const text::Corpus& corpus) const {
+  obs::ScopedSpan span("evaluate");
+  const bool timed = obs::MetricsEnabled();
+  obs::Stopwatch sw;
   const auto& sentences = corpus.sentences;
   const std::int64_t total = static_cast<std::int64_t>(sentences.size());
   // One evaluator per fixed-boundary shard; ParallelFor guarantees chunk c
@@ -237,6 +323,7 @@ eval::ExactResult NerModel::Evaluate(const text::Corpus& corpus) const {
       });
   eval::ExactMatchEvaluator ev;
   for (const eval::ExactMatchEvaluator& shard : shard_evs) ev.Merge(shard);
+  if (timed) RecordCorpusThroughput("eval", corpus, sw.Seconds());
   return ev.Result();
 }
 

@@ -17,6 +17,7 @@
 #include "encoders/encoder.h"
 #include "encoders/recursive.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 #include "text/tagging.h"
 #include "text/vocab.h"
 
@@ -118,6 +119,14 @@ class NerModel : public Module {
   // can use heuristic trees built from token strings.
   encoders::RecursiveEncoder* recursive_encoder_ = nullptr;
   std::unique_ptr<decoders::TagDecoder> decoder_;
+
+  // Per-module wall-time instruments, registered once in Build under names
+  // carrying the configured module kinds (e.g. "encoder.bilstm.forward_us")
+  // and observed only while obs::MetricsEnabled().
+  obs::Histogram* repr_forward_us_ = nullptr;
+  obs::Histogram* encoder_forward_us_ = nullptr;
+  obs::Histogram* decoder_loss_us_ = nullptr;
+  obs::Histogram* decoder_decode_us_ = nullptr;
 };
 
 }  // namespace dlner::core

@@ -1,6 +1,7 @@
 #include "core/trainer.h"
 
-#include <cstdio>
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dlner::core {
 
@@ -22,9 +23,15 @@ double Trainer::RunEpoch(const text::Corpus& train) {
     if (sentence.size() == 0) continue;
     optimizer_->ZeroGrad();
     Var loss = model_->Loss(sentence, /*training=*/true);
-    Backward(loss);
-    optimizer_->ClipGradNorm(config_.clip_norm);
-    optimizer_->Step();
+    {
+      obs::ScopedSpan span("backward");
+      Backward(loss);
+    }
+    {
+      obs::ScopedSpan span("optimizer");
+      optimizer_->ClipGradNorm(config_.clip_norm);
+      optimizer_->Step();
+    }
     total_loss += loss->value[0];
   }
   return train.sentences.empty()
@@ -41,10 +48,21 @@ TrainResult Trainer::Train(const text::Corpus& train,
   // patience break (or a worse final epoch) ends the run later.
   const std::vector<Var> params = model_->Parameters();
   std::vector<Tensor> best_params;
+  std::int64_t train_tokens = 0;
+  for (const auto& s : train.sentences) {
+    train_tokens += static_cast<std::int64_t>(s.tokens.size());
+  }
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::ScopedSpan span("epoch");
+    obs::Stopwatch epoch_sw;
     EpochStats stats;
     stats.epoch = epoch;
     stats.train_loss = RunEpoch(train);
+    const double train_seconds = epoch_sw.Seconds();
+    stats.tokens_per_sec = train_seconds > 0.0
+                               ? static_cast<double>(train_tokens) /
+                                     train_seconds
+                               : 0.0;
     result.final_train_loss = stats.train_loss;
     if (dev != nullptr) {
       stats.dev_f1 = model_->Evaluate(*dev).micro.f1();
@@ -59,9 +77,30 @@ TrainResult Trainer::Train(const text::Corpus& train,
         ++epochs_since_best;
       }
     }
-    if (config_.verbose) {
-      std::fprintf(stderr, "epoch %d: loss=%.4f dev_f1=%.4f\n", epoch,
-                   stats.train_loss, stats.dev_f1);
+    stats.wall_seconds = epoch_sw.Seconds();
+    if (obs::MetricsEnabled()) {
+      obs::Metrics& m = obs::Metrics::Get();
+      const double step = static_cast<double>(epoch);
+      m.series("train.loss")->Append(step, stats.train_loss);
+      m.series("train.lr")->Append(step, config_.lr);
+      m.series("train.epoch_wall_s")->Append(step, stats.wall_seconds);
+      m.series("train.tokens_per_sec")->Append(step, stats.tokens_per_sec);
+      if (dev != nullptr) m.series("train.dev_f1")->Append(step, stats.dev_f1);
+      m.counter("train.epochs")->Add(1);
+      m.counter("train.sentences")
+          ->Add(static_cast<std::int64_t>(train.sentences.size()));
+      m.counter("train.tokens")->Add(train_tokens);
+    }
+    // Structured per-epoch record; `verbose` keeps its historical contract
+    // of always printing, regardless of the process-wide log level.
+    if (config_.verbose || obs::LogEnabled(obs::LogLevel::kInfo)) {
+      obs::ForceLog(obs::LogLevel::kInfo, "epoch",
+                    {{"epoch", stats.epoch},
+                     {"loss", stats.train_loss},
+                     {"dev_f1", stats.dev_f1},
+                     {"lr", config_.lr},
+                     {"wall_s", stats.wall_seconds},
+                     {"tokens_per_sec", stats.tokens_per_sec}});
     }
     result.history.push_back(stats);
     if (dev != nullptr && config_.patience > 0 &&

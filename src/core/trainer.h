@@ -28,6 +28,11 @@ struct EpochStats {
   int epoch = 0;
   double train_loss = 0.0;
   double dev_f1 = -1.0;  // -1 when no dev corpus
+  /// Wall time of the whole epoch (training pass + dev evaluation).
+  double wall_seconds = 0.0;
+  /// Training throughput of this epoch (tokens in the training pass over
+  /// the training-pass wall time only).
+  double tokens_per_sec = 0.0;
 };
 
 struct TrainResult {

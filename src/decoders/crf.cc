@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace dlner::decoders {
@@ -61,6 +62,7 @@ Var CrfDecoder::PathScore(const Var& emissions,
 }
 
 Var CrfDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
+  obs::ScopedSpan span("loss/crf");
   const int t_len = encodings->value.rows();
   DLNER_CHECK_EQ(t_len, gold.size());
   const std::vector<int> gold_ids = tags_->SpansToTagIds(gold.spans, t_len);
@@ -172,6 +174,7 @@ Tensor CrfDecoder::Marginals(const Tensor& emissions) const {
 }
 
 std::vector<text::Span> CrfDecoder::Predict(const Var& encodings) const {
+  obs::ScopedSpan span("decode/crf");
   Var emissions = Emissions(encodings);
   return tags_->TagIdsToSpans(ViterbiPath(emissions->value));
 }

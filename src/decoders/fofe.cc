@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace dlner::decoders {
@@ -56,6 +57,7 @@ Var FofeDecoder::FragmentLogits(const Var& encodings, int i, int j) const {
 }
 
 Var FofeDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
+  obs::ScopedSpan span("loss/fofe");
   const int t_len = encodings->value.rows();
   DLNER_CHECK_EQ(t_len, gold.size());
 
@@ -85,6 +87,7 @@ Var FofeDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
 }
 
 std::vector<text::Span> FofeDecoder::Predict(const Var& encodings) const {
+  obs::ScopedSpan span("decode/fofe");
   const int t_len = encodings->value.rows();
   struct Candidate {
     int start;

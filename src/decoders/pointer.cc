@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace dlner::decoders {
@@ -52,6 +53,7 @@ Var PointerDecoder::LabelLogits(const Var& encodings, const Var& hidden,
 }
 
 Var PointerDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
+  obs::ScopedSpan span("loss/pointer");
   const int t_len = encodings->value.rows();
   DLNER_CHECK_EQ(t_len, gold.size());
 
@@ -95,6 +97,7 @@ Var PointerDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
 }
 
 std::vector<text::Span> PointerDecoder::Predict(const Var& encodings) const {
+  obs::ScopedSpan span("decode/pointer");
   const int t_len = encodings->value.rows();
   RnnState state = cell_->InitialState();
   std::vector<text::Span> spans;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace dlner::decoders {
@@ -24,6 +25,7 @@ std::vector<Var> RnnDecoder::Parameters() const {
 }
 
 Var RnnDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
+  obs::ScopedSpan span("loss/rnn");
   const int t_len = encodings->value.rows();
   DLNER_CHECK_EQ(t_len, gold.size());
   const std::vector<int> gold_ids = tags_->SpansToTagIds(gold.spans, t_len);
@@ -100,6 +102,7 @@ std::vector<text::Span> RnnDecoder::PredictBeam(const Var& encodings,
 }
 
 std::vector<text::Span> RnnDecoder::Predict(const Var& encodings) const {
+  obs::ScopedSpan span("decode/rnn");
   const int t_len = encodings->value.rows();
   RnnState state = cell_->InitialState();
   std::vector<int> predicted(t_len);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace dlner::decoders {
@@ -123,6 +124,7 @@ std::vector<SemiCrfDecoder::Segment> SemiCrfDecoder::GoldSegmentation(
 }
 
 Var SemiCrfDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
+  obs::ScopedSpan span("loss/semicrf");
   const int t_len = encodings->value.rows();
   DLNER_CHECK_EQ(t_len, gold.size());
   std::vector<Segment> segments = GoldSegmentation(gold);
@@ -132,6 +134,7 @@ Var SemiCrfDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
 }
 
 std::vector<text::Span> SemiCrfDecoder::Predict(const Var& encodings) const {
+  obs::ScopedSpan span("decode/semicrf");
   std::vector<text::Span> spans;
   for (const Segment& seg : ViterbiSegments(encodings)) {
     if (seg.label != 0) {

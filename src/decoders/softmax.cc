@@ -1,5 +1,6 @@
 #include "decoders/softmax.h"
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace dlner::decoders {
@@ -12,6 +13,7 @@ SoftmaxDecoder::SoftmaxDecoder(int in_dim, const text::TagSet* tags, Rng* rng,
 }
 
 Var SoftmaxDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
+  obs::ScopedSpan span("loss/softmax");
   const int t_len = encodings->value.rows();
   DLNER_CHECK_EQ(t_len, gold.size());
   const std::vector<int> gold_ids = tags_->SpansToTagIds(gold.spans, t_len);
@@ -25,6 +27,7 @@ Var SoftmaxDecoder::Loss(const Var& encodings, const text::Sentence& gold) {
 }
 
 std::vector<text::Span> SoftmaxDecoder::Predict(const Var& encodings) const {
+  obs::ScopedSpan span("decode/softmax");
   Var logits = proj_->Apply(encodings);
   const int t_len = logits->value.rows();
   const int k = logits->value.cols();

@@ -1,5 +1,6 @@
 #include "encoders/cnn.h"
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace dlner::encoders {
@@ -18,6 +19,7 @@ CnnEncoder::CnnEncoder(int in_dim, int hidden_dim, int num_layers,
 }
 
 Var CnnEncoder::Encode(const Var& input, bool /*training*/) const {
+  obs::ScopedSpan span("encode/cnn");
   Var h = input;
   for (const auto& layer : layers_) h = Relu(layer->Apply(h));
   if (!global_feature_) return h;
@@ -64,6 +66,7 @@ IdCnnEncoder::IdCnnEncoder(int in_dim, int hidden_dim,
 }
 
 Var IdCnnEncoder::Encode(const Var& input, bool /*training*/) const {
+  obs::ScopedSpan span("encode/idcnn");
   Var h = Relu(project_->Apply(input));
   // The same block (shared parameters) is iterated, which is what lets
   // ID-CNNs cover large contexts without parameter growth.

@@ -1,5 +1,7 @@
 #include "encoders/encoder.h"
 
+#include "obs/trace.h"
+
 namespace dlner::encoders {
 
 MlpEncoder::MlpEncoder(int in_dim, int hidden_dim, Rng* rng,
@@ -7,6 +9,7 @@ MlpEncoder::MlpEncoder(int in_dim, int hidden_dim, Rng* rng,
     : hidden_(std::make_unique<Linear>(in_dim, hidden_dim, rng, name)) {}
 
 Var MlpEncoder::Encode(const Var& input, bool /*training*/) const {
+  obs::ScopedSpan span("encode/mlp");
   return hidden_->ApplyTanh(input);
 }
 

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace dlner::encoders {
@@ -109,6 +110,7 @@ Var RecursiveEncoder::Encode(const Var& input, bool /*training*/) const {
 
 Var RecursiveEncoder::EncodeTree(const Var& input,
                                  const BinaryTree& tree) const {
+  obs::ScopedSpan span("encode/brnn");
   const int t_len = input->value.rows();
   DLNER_CHECK_EQ(t_len, tree.num_tokens);
   const int num_nodes = static_cast<int>(tree.nodes.size());

@@ -1,5 +1,6 @@
 #include "encoders/rnn_encoder.h"
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace dlner::encoders {
@@ -18,6 +19,7 @@ RnnEncoder::RnnEncoder(const std::string& kind, int in_dim, int hidden_dim,
 }
 
 Var RnnEncoder::Encode(const Var& input, bool training) const {
+  obs::ScopedSpan span("encode/rnn");
   Var h = input;
   for (size_t l = 0; l < layers_.size(); ++l) {
     h = layers_[l]->Apply(h);

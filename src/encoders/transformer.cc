@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace dlner::encoders {
@@ -103,6 +104,7 @@ Tensor TransformerEncoder::PositionEncodings(int t_len) const {
 }
 
 Var TransformerEncoder::Encode(const Var& input, bool training) const {
+  obs::ScopedSpan span("encode/transformer");
   Var h = input_proj_->Apply(input);
   h = Add(h, Constant(PositionEncodings(h->value.rows())));
   h = Dropout(h, dropout_, rng_, training);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "tensor/check.h"
 #include "tensor/rng.h"
 
@@ -35,6 +36,13 @@ double Prf::f1() const {
 
 void ExactMatchEvaluator::Add(const std::vector<text::Span>& gold,
                               const std::vector<text::Span>& predicted) {
+  if (obs::MetricsEnabled()) {
+    // Scoring volume, counted where scoring happens so every caller
+    // (parallel Evaluate shards, benches, tests) is covered.
+    static obs::Counter* pairs =
+        obs::Metrics::Get().counter("eval.pairs_scored");
+    pairs->Add(1);
+  }
   // Greedy one-to-one matching on exact (start, end, type) equality.
   std::vector<bool> gold_used(gold.size(), false);
   for (const text::Span& p : predicted) {

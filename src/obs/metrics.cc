@@ -1,0 +1,234 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+namespace dlner::obs {
+namespace {
+
+// Bucket index for a non-negative integer sample: 0 -> 0, otherwise
+// 1 + floor(log2(sample)) clamped to the table.
+int BucketIndex(std::uint64_t sample) {
+  if (sample == 0) return 0;
+  int b = 0;
+  while (sample > 0 && b < Histogram::kBuckets - 1) {
+    sample >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+// Inclusive value range covered by a bucket.
+void BucketBounds(int b, double* lo, double* hi) {
+  if (b == 0) {
+    *lo = 0.0;
+    *hi = 0.0;
+    return;
+  }
+  *lo = std::ldexp(1.0, b - 1);      // 2^(b-1)
+  *hi = std::ldexp(1.0, b) - 1.0;    // 2^b - 1
+}
+
+void AtomicAddDouble(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) {
+  if (!(v >= 0.0)) v = 0.0;  // clamp negatives and NaN
+  const std::uint64_t sample =
+      v >= 9.2e18 ? ~0ull : static_cast<std::uint64_t>(std::llround(v));
+  buckets_[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+  if (n == 0) {
+    // First observation initializes min; the sentinel 0.0 would otherwise
+    // pin the minimum of all-positive samples.
+    min_.store(v, std::memory_order_relaxed);
+    AtomicMaxDouble(&max_, v);
+  } else {
+    AtomicMinDouble(&min_, v);
+    AtomicMaxDouble(&max_, v);
+  }
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::Percentile(double p) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(n);
+  std::int64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::int64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      double lo = 0.0, hi = 0.0;
+      BucketBounds(b, &lo, &hi);
+      const double frac =
+          in_bucket == 0
+              ? 0.0
+              : (target - static_cast<double>(cum)) /
+                    static_cast<double>(in_bucket);
+      const double est = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      // Never report outside the observed range.
+      return std::clamp(est, min(), max());
+    }
+    cum += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+void Series::Append(double step, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.emplace_back(step, value);
+}
+
+std::vector<std::pair<double, double>> Series::points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_;
+}
+
+void Series::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+Metrics& Metrics::Get() {
+  static Metrics* instance = new Metrics();  // leaked: lives until exit
+  return *instance;
+}
+
+Counter* Metrics::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Metrics::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Metrics::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+Series* Metrics::series(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (slot == nullptr) slot = std::make_unique<Series>();
+  return slot.get();
+}
+
+std::size_t Metrics::NumSeries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         series_.size();
+}
+
+void Metrics::WriteJson(std::ostream& os) const {
+  using internal::JsonEscape;
+  using internal::JsonNumber;
+  // One (name, body) entry per instrument, then emitted sorted by name so
+  // the file is deterministic regardless of registration order.
+  std::vector<std::pair<std::string, std::string>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      entries.emplace_back(
+          name, "{\"type\": \"counter\", \"value\": " +
+                    std::to_string(c->value()) + "}");
+    }
+    for (const auto& [name, g] : gauges_) {
+      entries.emplace_back(name, "{\"type\": \"gauge\", \"value\": " +
+                                     JsonNumber(g->value()) + "}");
+    }
+    for (const auto& [name, h] : histograms_) {
+      std::string body = "{\"type\": \"histogram\", \"count\": " +
+                         std::to_string(h->count());
+      body += ", \"sum\": " + JsonNumber(h->sum());
+      body += ", \"min\": " + JsonNumber(h->min());
+      body += ", \"max\": " + JsonNumber(h->max());
+      body += ", \"p50\": " + JsonNumber(h->Percentile(50));
+      body += ", \"p90\": " + JsonNumber(h->Percentile(90));
+      body += ", \"p99\": " + JsonNumber(h->Percentile(99));
+      body += "}";
+      entries.emplace_back(name, std::move(body));
+    }
+    for (const auto& [name, s] : series_) {
+      std::string body = "{\"type\": \"series\", \"points\": [";
+      bool first = true;
+      for (const auto& [step, value] : s->points()) {
+        if (!first) body += ", ";
+        first = false;
+        body += "[" + JsonNumber(step) + ", " + JsonNumber(value) + "]";
+      }
+      body += "]}";
+      entries.emplace_back(name, std::move(body));
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  os << "{\n\"schema\": \"dlner-metrics-v1\",\n\"series\": {\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    os << "  \"" << JsonEscape(entries[i].first)
+       << "\": " << entries[i].second;
+    if (i + 1 < entries.size()) os << ",";
+    os << "\n";
+  }
+  os << "}\n}\n";
+}
+
+bool Metrics::WriteJson(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteJson(os);
+  return static_cast<bool>(os);
+}
+
+void Metrics::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, s] : series_) s->Reset();
+}
+
+}  // namespace dlner::obs

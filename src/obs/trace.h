@@ -1,0 +1,131 @@
+// Scoped span tracing with Chrome trace_event JSON export.
+//
+// Each thread records completed spans into its own fixed-capacity ring
+// buffer (oldest spans are overwritten once the ring is full), so recording
+// never blocks another thread and never allocates unboundedly. Export
+// merges every ring and sorts by (start, duration desc, tid, seq), making
+// the emitted JSON a pure function of the recorded spans — deterministic
+// content ordering, as the invariance suite expects. The resulting file
+// loads directly in chrome://tracing and Perfetto (ui.perfetto.dev); see
+// docs/OBSERVABILITY.md for span naming conventions.
+#ifndef DLNER_OBS_TRACE_H_
+#define DLNER_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace dlner::obs {
+
+/// One completed span as stored in a ring buffer.
+struct SpanEvent {
+  std::string name;
+  std::uint64_t start_us = 0;  // NowMicros() at span open
+  std::uint64_t dur_us = 0;
+  int tid = 0;            // stable per-thread id (registration order, 1-based)
+  std::uint64_t seq = 0;  // global record-order tiebreaker
+};
+
+class Tracer {
+ public:
+  /// Per-thread ring capacity in spans. A full training run keeps its most
+  /// recent ~32k spans per thread, which is what a trace viewer can
+  /// usefully display anyway; the overwrite count is reported in the
+  /// export's otherData.
+  static constexpr std::size_t kRingCapacity = 1u << 15;
+
+  /// The process-wide tracer (leaked singleton: spans recorded by worker
+  /// threads during static destruction stay safe).
+  static Tracer& Get();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Appends one completed span to the calling thread's ring. Called by
+  /// ScopedSpan only while tracing is enabled.
+  void Record(std::string name, std::uint64_t start_us, std::uint64_t end_us);
+
+  /// Merged copy of every ring, sorted by (start, duration desc, tid, seq).
+  std::vector<SpanEvent> Snapshot() const;
+
+  /// Spans ever recorded / overwritten by ring wraparound.
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+  /// Drops all buffered spans (rings stay registered; counters reset).
+  void Clear();
+
+  /// Chrome trace_event JSON ("X" complete events, microsecond
+  /// timestamps). The stream overload reports success via the stream
+  /// state; the path overload returns false when the file cannot be
+  /// written.
+  void WriteChromeTrace(std::ostream& os) const;
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct Ring {
+    int tid = 0;
+    mutable std::mutex mu;
+    std::vector<SpanEvent> events;  // ring storage, slot = total % capacity
+    std::uint64_t total = 0;        // spans ever recorded into this ring
+  };
+
+  Tracer() = default;
+
+  Ring* ThreadRing();
+
+  mutable std::mutex mu_;  // guards rings_ registration and snapshot
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+/// RAII span: captures the start time at construction and records a
+/// completed span at destruction. When tracing is disabled at construction
+/// the whole object is a no-op (one relaxed load, no clock reads, no
+/// allocation). Spans nest naturally; names should be static literals for
+/// the common case.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_ = NowMicros();
+      active_ = true;
+    }
+  }
+
+  /// Dynamic-name variant ("prefix/suffix"); the string is only built when
+  /// tracing is enabled.
+  ScopedSpan(const char* prefix, const std::string& suffix) {
+    if (TracingEnabled()) {
+      owned_ = std::string(prefix) + "/" + suffix;
+      start_ = NowMicros();
+      active_ = true;
+    }
+  }
+
+  ~ScopedSpan() {
+    if (active_) Finish();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Finish();
+
+  const char* name_ = nullptr;  // static name; owned_ used when null
+  std::string owned_;
+  std::uint64_t start_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace dlner::obs
+
+#endif  // DLNER_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace dlner::runtime {
 namespace {
 
@@ -48,6 +50,37 @@ ThreadPool& Runtime::pool() {
   std::lock_guard<std::mutex> lock(mu_);
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
   return *pool_;
+}
+
+void Runtime::PublishMetrics() {
+  PoolStats stats;
+  int workers = 0;
+  int threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads = threads_;
+    if (pool_ != nullptr) {
+      stats = pool_->stats();
+      workers = pool_->workers();
+    }
+  }
+  obs::Metrics& m = obs::Metrics::Get();
+  m.gauge("runtime.threads")->Set(threads);
+  m.gauge("runtime.pool.workers")->Set(workers);
+  m.gauge("runtime.pool.jobs")->Set(static_cast<double>(stats.jobs_executed));
+  m.gauge("runtime.pool.parallel_fors")
+      ->Set(static_cast<double>(stats.parallel_fors));
+  m.gauge("runtime.pool.chunks_caller")
+      ->Set(static_cast<double>(stats.chunks_caller));
+  m.gauge("runtime.pool.chunks_helper")
+      ->Set(static_cast<double>(stats.chunks_helper));
+  m.gauge("runtime.pool.idle_wait_us")
+      ->Set(static_cast<double>(stats.idle_wait_us));
+  m.gauge("runtime.pool.effective_parallelism")
+      ->Set(stats.chunks_caller > 0
+                ? static_cast<double>(stats.chunks_total()) /
+                      static_cast<double>(stats.chunks_caller)
+                : 1.0);
 }
 
 void ParallelFor(std::int64_t total, std::int64_t grain,

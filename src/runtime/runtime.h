@@ -40,6 +40,14 @@ class Runtime {
   /// The shared pool (created on first use).
   ThreadPool& pool();
 
+  /// Publishes the runtime's observable state into the obs metrics
+  /// registry as gauges (runtime.threads, runtime.pool.jobs,
+  /// runtime.pool.chunks_*, runtime.pool.idle_wait_us,
+  /// runtime.pool.effective_parallelism). Call before exporting metrics;
+  /// gauges carry the latest snapshot, so repeated calls never
+  /// double-count. A never-used pool publishes zeros.
+  void PublishMetrics();
+
  private:
   Runtime();
 

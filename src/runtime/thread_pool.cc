@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/obs.h"
 #include "tensor/check.h"
 
 namespace dlner::runtime {
@@ -59,20 +60,44 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
+      // Idle time (blocked on the queue) is only clocked while metric
+      // collection is on; the steady-state cost is one relaxed load.
+      const bool timed = obs::MetricsEnabled();
+      const std::uint64_t wait_start = timed ? obs::NowMicros() : 0;
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (timed) {
+        idle_wait_us_.fetch_add(
+            static_cast<std::int64_t>(obs::NowMicros() - wait_start),
+            std::memory_order_relaxed);
+      }
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    jobs_executed_.fetch_add(1, std::memory_order_relaxed);
     task();
   }
 }
 
-void ThreadPool::RunChunks(const std::shared_ptr<ForState>& state) {
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.jobs_executed = jobs_executed_.load(std::memory_order_relaxed);
+  s.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
+  s.chunks_caller = chunks_caller_.load(std::memory_order_relaxed);
+  s.chunks_helper = chunks_helper_.load(std::memory_order_relaxed);
+  s.idle_wait_us = idle_wait_us_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::RunChunks(const std::shared_ptr<ForState>& state,
+                           bool caller) {
+  std::atomic<std::int64_t>& chunk_counter =
+      caller ? chunks_caller_ : chunks_helper_;
   for (;;) {
     const std::int64_t c = state->next.fetch_add(1, std::memory_order_relaxed);
     if (c >= state->chunks) return;
+    chunk_counter.fetch_add(1, std::memory_order_relaxed);
     if (!state->failed.load(std::memory_order_relaxed)) {
       const std::int64_t begin = c * state->grain;
       const std::int64_t end = std::min(state->total, begin + state->grain);
@@ -98,10 +123,12 @@ void ThreadPool::ParallelFor(
     std::int64_t total, std::int64_t grain,
     const std::function<void(std::int64_t, std::int64_t)>& body) {
   if (total <= 0) return;
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
   grain = std::max<std::int64_t>(1, grain);
   const std::int64_t chunks = (total + grain - 1) / grain;
   if (workers() == 0 || chunks == 1) {
     // Serial path: identical chunk boundaries, same exception behavior.
+    chunks_caller_.fetch_add(chunks, std::memory_order_relaxed);
     for (std::int64_t c = 0; c < chunks; ++c) {
       body(c * grain, std::min(total, (c + 1) * grain));
     }
@@ -117,9 +144,9 @@ void ThreadPool::ParallelFor(
   const int helpers =
       static_cast<int>(std::min<std::int64_t>(chunks - 1, workers()));
   for (int h = 0; h < helpers; ++h) {
-    Submit([state] { RunChunks(state); });
+    Submit([this, state] { RunChunks(state, /*caller=*/false); });
   }
-  RunChunks(state);
+  RunChunks(state, /*caller=*/true);
 
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&state] {

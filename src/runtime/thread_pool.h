@@ -9,6 +9,7 @@
 #ifndef DLNER_RUNTIME_THREAD_POOL_H_
 #define DLNER_RUNTIME_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -19,6 +20,21 @@
 #include <vector>
 
 namespace dlner::runtime {
+
+/// Execution statistics accumulated over a pool's lifetime. The ratio
+/// chunks_total() / chunks_caller approximates the effective parallelism
+/// actually achieved: with no workers (or no helper ever claiming a chunk)
+/// it is exactly 1.
+struct PoolStats {
+  std::int64_t jobs_executed = 0;   // Submit() tasks run by workers
+  std::int64_t parallel_fors = 0;   // ParallelFor calls (incl. serial path)
+  std::int64_t chunks_caller = 0;   // chunks run on the calling thread
+  std::int64_t chunks_helper = 0;   // chunks run on pool workers
+  std::int64_t idle_wait_us = 0;    // worker time blocked awaiting work
+                                    // (collected only while obs metrics on)
+
+  std::int64_t chunks_total() const { return chunks_caller + chunks_helper; }
+};
 
 class ThreadPool {
  public:
@@ -34,6 +50,13 @@ class ThreadPool {
 
   int workers() const { return static_cast<int>(threads_.size()); }
 
+  /// Logical thread count of a ParallelFor: the workers plus the calling
+  /// thread, which always participates.
+  int num_threads() const { return workers() + 1; }
+
+  /// Snapshot of the pool's execution counters.
+  PoolStats stats() const;
+
   /// Enqueues one task for asynchronous execution.
   void Submit(std::function<void()> task);
 
@@ -48,8 +71,9 @@ class ThreadPool {
  private:
   struct ForState;
 
-  // Claims and runs chunks of `state` until none remain.
-  static void RunChunks(const std::shared_ptr<ForState>& state);
+  // Claims and runs chunks of `state` until none remain; `caller` selects
+  // which chunk counter the work is attributed to.
+  void RunChunks(const std::shared_ptr<ForState>& state, bool caller);
 
   void WorkerLoop();
 
@@ -58,6 +82,12 @@ class ThreadPool {
   std::condition_variable cv_;
   std::queue<std::function<void()>> tasks_;
   bool stop_ = false;
+
+  std::atomic<std::int64_t> jobs_executed_{0};
+  std::atomic<std::int64_t> parallel_fors_{0};
+  std::atomic<std::int64_t> chunks_caller_{0};
+  std::atomic<std::int64_t> chunks_helper_{0};
+  std::atomic<std::int64_t> idle_wait_us_{0};
 };
 
 }  // namespace dlner::runtime

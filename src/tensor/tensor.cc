@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace dlner {
 namespace {
 
@@ -16,14 +18,55 @@ int NumElements(const std::vector<int>& shape) {
   return n;
 }
 
+// Cached instrument pointers (stable for the process lifetime) so the
+// enabled path of allocation accounting is four relaxed atomic ops, not a
+// registry lookup.
+struct TensorMetrics {
+  obs::Counter* allocs;
+  obs::Counter* alloc_bytes;
+  obs::Gauge* live_bytes;
+  obs::Gauge* peak_bytes;
+};
+
+const TensorMetrics& Tm() {
+  static const TensorMetrics tm = [] {
+    obs::Metrics& m = obs::Metrics::Get();
+    return TensorMetrics{m.counter("tensor.allocs"),
+                         m.counter("tensor.alloc_bytes"),
+                         m.gauge("tensor.live_bytes"),
+                         m.gauge("tensor.peak_bytes")};
+  }();
+  return tm;
+}
+
 }  // namespace
 
+void Tensor::TrackAlloc() {
+  if (!obs::MetricsEnabled()) return;
+  tracked_bytes_ =
+      static_cast<std::int64_t>(data_.size() * sizeof(Float));
+  const TensorMetrics& tm = Tm();
+  tm.allocs->Add(1);
+  tm.alloc_bytes->Add(tracked_bytes_);
+  tm.peak_bytes->SetMax(
+      tm.live_bytes->Add(static_cast<double>(tracked_bytes_)));
+}
+
+void Tensor::ReleaseTracked() {
+  if (tracked_bytes_ == 0) return;
+  Tm().live_bytes->Add(-static_cast<double>(tracked_bytes_));
+  tracked_bytes_ = 0;
+}
+
 Tensor::Tensor(std::vector<int> shape)
-    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0) {}
+    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0) {
+  TrackAlloc();
+}
 
 Tensor::Tensor(std::vector<int> shape, std::vector<Float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   DLNER_CHECK_EQ(NumElements(shape_), static_cast<int>(data_.size()));
+  TrackAlloc();
 }
 
 Tensor Tensor::Zeros(int n) { return Tensor({n}); }

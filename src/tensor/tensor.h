@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "tensor/check.h"
 
 namespace dlner {
@@ -30,6 +32,40 @@ class Tensor {
 
   /// Tensor with the given shape and explicit contents (row-major).
   Tensor(std::vector<int> shape, std::vector<Float> data);
+
+  // Copies/moves participate in the allocation accounting below. Defined
+  // inline so the disabled path stays as cheap as the defaulted members:
+  // one relaxed load (copy), one integer move (move), one member branch
+  // (destructor) — no out-of-line call on the hot path.
+  Tensor(const Tensor& other) : shape_(other.shape_), data_(other.data_) {
+    if (obs::MetricsEnabled()) TrackAlloc();
+  }
+  Tensor(Tensor&& other) noexcept
+      : shape_(std::move(other.shape_)),
+        data_(std::move(other.data_)),
+        tracked_bytes_(other.tracked_bytes_) {
+    other.tracked_bytes_ = 0;
+  }
+  Tensor& operator=(const Tensor& other) {
+    if (this == &other) return *this;
+    if (tracked_bytes_ != 0) ReleaseTracked();
+    shape_ = other.shape_;
+    data_ = other.data_;
+    if (obs::MetricsEnabled()) TrackAlloc();
+    return *this;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this == &other) return *this;
+    if (tracked_bytes_ != 0) ReleaseTracked();
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+    tracked_bytes_ = other.tracked_bytes_;
+    other.tracked_bytes_ = 0;
+    return *this;
+  }
+  ~Tensor() {
+    if (tracked_bytes_ != 0) ReleaseTracked();
+  }
 
   /// Rank-1 zero tensor of length n.
   static Tensor Zeros(int n);
@@ -86,8 +122,18 @@ class Tensor {
   std::string ShapeString() const;
 
  private:
+  // Registers this tensor's payload with the process-wide allocation
+  // metrics (obs::Metrics "tensor.*" series) when metric collection is on.
+  void TrackAlloc();
+  // Unregisters exactly what TrackAlloc registered, keeping the live-bytes
+  // gauge balanced even when metrics toggle mid-lifetime.
+  void ReleaseTracked();
+
   std::vector<int> shape_;
   std::vector<Float> data_;
+  // Bytes this tensor added to the live-bytes gauge; 0 when it was created
+  // with metrics disabled (then the destructor is branch-only).
+  std::int64_t tracked_bytes_ = 0;
 };
 
 }  // namespace dlner

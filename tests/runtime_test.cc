@@ -2,6 +2,7 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -101,6 +102,49 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
                      });
   });
   EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, NumThreadsCountsCaller) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 4);
+  ThreadPool inline_pool(0);
+  EXPECT_EQ(inline_pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, StatsCountSubmittedJobs) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([] {});
+  }
+  // Submitted jobs drain asynchronously; poll until the workers catch up.
+  PoolStats stats = pool.stats();
+  while (stats.jobs_executed < 5) {
+    std::this_thread::yield();
+    stats = pool.stats();
+  }
+  EXPECT_EQ(stats.jobs_executed, 5);
+  EXPECT_EQ(stats.parallel_fors, 0);
+}
+
+TEST(ThreadPoolTest, StatsTrackParallelForChunks) {
+  ThreadPool pool(2);
+  // 10 indices at grain 3 -> chunks [0,3) [3,6) [6,9) [9,10).
+  pool.ParallelFor(10, 3, [](std::int64_t, std::int64_t) {});
+  pool.ParallelFor(4, 4, [](std::int64_t, std::int64_t) {});  // single chunk
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.parallel_fors, 2);
+  // Every chunk ran exactly once, attributed to caller or helper.
+  EXPECT_EQ(stats.chunks_total(), 4 + 1);
+  EXPECT_GE(stats.chunks_caller, 1);  // the single-chunk call at minimum
+}
+
+TEST(ThreadPoolTest, ZeroWorkerStatsAttributeEverythingToCaller) {
+  ThreadPool pool(0);
+  pool.ParallelFor(12, 2, [](std::int64_t, std::int64_t) {});
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.chunks_caller, 6);
+  EXPECT_EQ(stats.chunks_helper, 0);
+  EXPECT_EQ(stats.jobs_executed, 0);
 }
 
 TEST(RuntimeTest, SetThreadsControlsPoolSize) {

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validates the observability artifacts produced by `dlner --trace-out /
+--metrics-out` (and by bench_throughput). Standard library only; used by the
+CI observability job and handy for checking a local capture:
+
+    python3 tools/check_trace.py --trace trace.json \
+        --require-span embed --require-span encode \
+        --metrics metrics.json --min-series 10
+
+Exits 0 when every requested check passes, 1 otherwise (each failure is
+printed).
+"""
+import argparse
+import json
+import sys
+
+METRIC_TYPES = {"counter", "gauge", "histogram", "series"}
+
+
+def fail(errors, message):
+    errors.append(message)
+    print(f"FAIL: {message}", file=sys.stderr)
+
+
+def check_trace(path, require_spans, errors):
+    try:
+        with open(path, encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, f"{path}: cannot parse: {e}")
+        return
+    events = root.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(errors, f"{path}: traceEvents missing or empty")
+        return
+    names = set()
+    complete = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(errors, f"{path}: traceEvents[{i}] is not an object")
+            continue
+        for key, kind in (("name", str), ("ph", str), ("pid", int),
+                          ("tid", int)):
+            if not isinstance(ev.get(key), kind):
+                fail(errors,
+                     f"{path}: traceEvents[{i}] missing {kind.__name__} "
+                     f"field '{key}'")
+        if ev.get("ph") == "X":
+            complete += 1
+            for key in ("ts", "dur"):
+                if not isinstance(ev.get(key), (int, float)):
+                    fail(errors,
+                         f"{path}: traceEvents[{i}] 'X' event missing "
+                         f"numeric '{key}'")
+            if isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
+                fail(errors, f"{path}: traceEvents[{i}] has negative dur")
+            names.add(ev.get("name"))
+    if complete == 0:
+        fail(errors, f"{path}: no 'X' (complete) span events")
+    for span in require_spans:
+        if span not in names:
+            fail(errors, f"{path}: required span '{span}' not found "
+                         f"(have: {sorted(n for n in names if n)[:20]})")
+    print(f"{path}: {len(events)} events, {complete} spans, "
+          f"{len(names)} distinct span names")
+
+
+def check_metrics(path, min_series, errors):
+    try:
+        with open(path, encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, f"{path}: cannot parse: {e}")
+        return
+    if root.get("schema") != "dlner-metrics-v1":
+        fail(errors, f"{path}: schema is {root.get('schema')!r}, "
+                     f"expected 'dlner-metrics-v1'")
+    series = root.get("series")
+    if not isinstance(series, dict):
+        fail(errors, f"{path}: 'series' missing or not an object")
+        return
+    for name, body in series.items():
+        if not isinstance(body, dict):
+            fail(errors, f"{path}: series '{name}' is not an object")
+            continue
+        kind = body.get("type")
+        if kind not in METRIC_TYPES:
+            fail(errors, f"{path}: series '{name}' has invalid type {kind!r}")
+        elif kind == "series":
+            if not isinstance(body.get("points"), list):
+                fail(errors, f"{path}: series '{name}' missing points list")
+        elif kind == "histogram":
+            for key in ("count", "sum", "min", "max", "p50", "p90", "p99"):
+                if not isinstance(body.get(key), (int, float)):
+                    fail(errors,
+                         f"{path}: histogram '{name}' missing '{key}'")
+        elif not isinstance(body.get("value"), (int, float)):
+            fail(errors, f"{path}: {kind} '{name}' missing numeric 'value'")
+    if len(series) < min_series:
+        fail(errors, f"{path}: {len(series)} series < required {min_series}")
+    print(f"{path}: {len(series)} series")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace_event JSON to validate")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="span name that must appear (repeatable)")
+    parser.add_argument("--metrics", help="dlner-metrics-v1 JSON to validate")
+    parser.add_argument("--min-series", type=int, default=1,
+                        help="minimum number of metric series (default 1)")
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        parser.error("nothing to check: pass --trace and/or --metrics")
+
+    errors = []
+    if args.trace:
+        check_trace(args.trace, args.require_span, errors)
+    if args.metrics:
+        check_metrics(args.metrics, args.min_series, errors)
+    if errors:
+        print(f"{len(errors)} check(s) failed", file=sys.stderr)
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

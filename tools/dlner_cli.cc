@@ -22,6 +22,9 @@
 #include "core/pipeline.h"
 #include "data/dataset.h"
 #include "embeddings/lm.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "runtime/runtime.h"
 #include "text/conll.h"
 
@@ -66,6 +69,44 @@ void ApplyThreadsFlag(const Args& args) {
   if (args.Has("threads")) {
     runtime::Runtime::Get().SetThreads(args.GetInt("threads", 0));
   }
+}
+
+// Observability flags shared by every subcommand: --log-level LEVEL sets
+// the structured-logger threshold, --trace-out FILE turns span tracing on,
+// --metrics-out FILE turns metric collection on. Collection starts before
+// the command runs; artifacts are written by FlushObsArtifacts afterwards.
+void ApplyObsFlags(const Args& args) {
+  if (args.Has("log-level")) {
+    obs::SetLogLevel(obs::LogLevelFromString(args.Get("log-level")));
+  }
+  if (args.Has("trace-out")) obs::EnableTracing(true);
+  if (args.Has("metrics-out")) obs::EnableMetrics(true);
+}
+
+// Writes the trace / metrics files requested on the command line. Returns
+// false (and logs) when a file cannot be written, so the process exits
+// non-zero instead of silently dropping the artifact.
+bool FlushObsArtifacts(const Args& args) {
+  bool ok = true;
+  if (args.Has("metrics-out")) {
+    // Fold the thread-pool counters into the registry before the snapshot.
+    runtime::Runtime::Get().PublishMetrics();
+    const std::string path = args.Get("metrics-out");
+    if (!obs::Metrics::Get().WriteJson(path)) {
+      obs::ForceLog(obs::LogLevel::kError, "metrics_write_failed",
+                    {{"path", path}});
+      ok = false;
+    }
+  }
+  if (args.Has("trace-out")) {
+    const std::string path = args.Get("trace-out");
+    if (!obs::Tracer::Get().WriteChromeTrace(path)) {
+      obs::ForceLog(obs::LogLevel::kError, "trace_write_failed",
+                    {{"path", path}});
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 std::vector<std::string> EntityTypesOf(const text::Corpus& corpus) {
@@ -147,6 +188,15 @@ int CmdTrain(const Args& args) {
   config.word_unk_dropout = args.GetDouble("word-dropout", 0.2);
   config.seed = args.GetInt("seed", 42);
   config.threads = args.GetInt("threads", -1);
+  // Mirror the process-wide obs flags into the config so models built from
+  // this config behave the same when constructed elsewhere. Runtime-only:
+  // none of these is serialized into the checkpoint.
+  if (args.Has("log-level")) {
+    config.log_level =
+        static_cast<int>(obs::LogLevelFromString(args.Get("log-level")));
+  }
+  if (args.Has("trace-out")) config.collect_traces = 1;
+  if (args.Has("metrics-out")) config.collect_metrics = 1;
 
   core::TrainConfig tc;
   tc.epochs = args.GetInt("epochs", 12);
@@ -302,6 +352,11 @@ void Usage() {
       "  eval     --model FILE --test FILE [--relaxed] [--threads N]\n"
       "--threads N: worker threads for corpus evaluation/tagging\n"
       "             (0 = hardware concurrency; DLNER_THREADS also honored)\n"
+      "observability (any subcommand; see docs/OBSERVABILITY.md):\n"
+      "  --trace-out FILE    record spans, write Chrome trace_event JSON\n"
+      "  --metrics-out FILE  collect metrics, write JSON snapshot\n"
+      "  --log-level LEVEL   debug|info|warn|error|off (default warn;\n"
+      "                      DLNER_LOG_LEVEL also honored)\n"
       "datasets: conll-like ontonotes-like wnut-like fine-grained-like\n"
       "          nested-like bio-like\n"
       "encoders: mlp cnn idcnn bilstm bigru transformer brnn\n"
@@ -317,10 +372,16 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   Args args(argc, argv, 2);
-  if (cmd == "generate") return CmdGenerate(args);
-  if (cmd == "train") return CmdTrain(args);
-  if (cmd == "tag") return CmdTag(args);
-  if (cmd == "eval") return CmdEval(args);
-  Usage();
-  return 1;
+  ApplyObsFlags(args);
+  int rc = -1;
+  if (cmd == "generate") rc = CmdGenerate(args);
+  if (cmd == "train") rc = CmdTrain(args);
+  if (cmd == "tag") rc = CmdTag(args);
+  if (cmd == "eval") rc = CmdEval(args);
+  if (rc < 0) {
+    Usage();
+    return 1;
+  }
+  if (!FlushObsArtifacts(args)) rc = rc == 0 ? 1 : rc;
+  return rc;
 }
