@@ -64,6 +64,13 @@ struct NerConfig {
   /// trained it, and appending fields would break the binary format.
   int threads = -1;
 
+  /// Routes corpus-level inference (PredictCorpus, Evaluate) through the
+  /// compiled batched plan (src/plan/) instead of per-sentence eager
+  /// forwards. Results are identical either way (the plan is validated
+  /// against eager by the differential suite); this only trades schedule.
+  /// Like `threads`, an execution knob — deliberately NOT serialized.
+  bool plan_inference = true;
+
   // --- Observability (see docs/OBSERVABILITY.md) ---
   // Like `threads`, these act on the process-wide state at model
   // construction and are deliberately NOT serialized: checkpoints

@@ -1,5 +1,8 @@
 #include "core/model.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "obs/trace.h"
 #include "runtime/runtime.h"
 
@@ -45,6 +48,7 @@ NerModel::NerModel(const NerConfig& config, text::Vocabulary word_vocab,
   if (config_.collect_metrics >= 0) {
     obs::EnableMetrics(config_.collect_metrics != 0);
   }
+  plan_inference_ = config_.plan_inference;
   Build(resources);
 }
 
@@ -250,6 +254,11 @@ namespace {
 // amortize dispatch, fine enough to balance uneven sentence lengths.
 constexpr std::int64_t kSentenceGrain = 8;
 
+// Micro-batch size for the compiled plan: large enough that one blocked
+// GEMM amortizes dispatch across sentences, small enough that ragged tail
+// batches still balance across the thread pool.
+constexpr std::int64_t kPlanBatch = 16;
+
 std::int64_t CountTokens(const text::Corpus& corpus) {
   std::int64_t tokens = 0;
   for (const auto& s : corpus.sentences) {
@@ -279,22 +288,76 @@ void RecordCorpusThroughput(const char* prefix, const text::Corpus& corpus,
 
 }  // namespace
 
+const plan::InferencePlan& NerModel::plan() const {
+  std::call_once(plan_once_, [&] {
+    obs::ScopedSpan span("plan/compile");
+    plan::PlanModules modules;
+    modules.representation = representation_.get();
+    modules.encoder = encoder_.get();
+    modules.recursive = recursive_encoder_;
+    modules.decoder = decoder_.get();
+    plan_ = std::make_unique<plan::InferencePlan>(modules);
+  });
+  return *plan_;
+}
+
+std::vector<std::vector<text::Span>> NerModel::PredictPlanned(
+    const text::Corpus& corpus) const {
+  const plan::InferencePlan& p = plan();
+  const auto& sentences = corpus.sentences;
+  std::vector<std::vector<text::Span>> predicted(sentences.size());
+  // Non-empty sentences map to contiguous batch slots; empty ones keep
+  // their (empty) result vector, matching the eager path.
+  std::vector<std::size_t> slots;
+  slots.reserve(sentences.size());
+  for (std::size_t i = 0; i < sentences.size(); ++i) {
+    if (!sentences[i].tokens.empty()) slots.push_back(i);
+  }
+  const std::int64_t batches =
+      (static_cast<std::int64_t>(slots.size()) + kPlanBatch - 1) / kPlanBatch;
+  runtime::ParallelFor(
+      batches, /*grain=*/1, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t batch = begin; batch < end; ++batch) {
+          const std::size_t lo = static_cast<std::size_t>(batch * kPlanBatch);
+          const std::size_t hi =
+              std::min(lo + static_cast<std::size_t>(kPlanBatch),
+                       slots.size());
+          std::vector<const std::vector<std::string>*> tokens;
+          tokens.reserve(hi - lo);
+          for (std::size_t s = lo; s < hi; ++s) {
+            tokens.push_back(&sentences[slots[s]].tokens);
+          }
+          std::vector<std::vector<text::Span>> out(hi - lo);
+          p.Execute(tokens, &out);
+          for (std::size_t s = lo; s < hi; ++s) {
+            predicted[slots[s]] = std::move(out[s - lo]);
+          }
+        }
+      });
+  return predicted;
+}
+
 std::vector<std::vector<text::Span>> NerModel::PredictCorpus(
     const text::Corpus& corpus) const {
   obs::ScopedSpan span("predict_corpus");
   const bool timed = obs::MetricsEnabled();
   obs::Stopwatch sw;
   const auto& sentences = corpus.sentences;
-  std::vector<std::vector<text::Span>> predicted(sentences.size());
-  runtime::ParallelFor(
-      static_cast<std::int64_t>(sentences.size()), kSentenceGrain,
-      [&](std::int64_t begin, std::int64_t end) {
-        for (std::int64_t i = begin; i < end; ++i) {
-          if (!sentences[i].tokens.empty()) {
-            predicted[i] = Predict(sentences[i].tokens);
+  std::vector<std::vector<text::Span>> predicted;
+  if (plan_inference_) {
+    predicted = PredictPlanned(corpus);
+  } else {
+    predicted.resize(sentences.size());
+    runtime::ParallelFor(
+        static_cast<std::int64_t>(sentences.size()), kSentenceGrain,
+        [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            if (!sentences[i].tokens.empty()) {
+              predicted[i] = Predict(sentences[i].tokens);
+            }
           }
-        }
-      });
+        });
+  }
   if (timed) RecordCorpusThroughput("tag", corpus, sw.Seconds());
   return predicted;
 }
@@ -304,25 +367,34 @@ eval::ExactResult NerModel::Evaluate(const text::Corpus& corpus) const {
   const bool timed = obs::MetricsEnabled();
   obs::Stopwatch sw;
   const auto& sentences = corpus.sentences;
-  const std::int64_t total = static_cast<std::int64_t>(sentences.size());
-  // One evaluator per fixed-boundary shard; ParallelFor guarantees chunk c
-  // covers [c*grain, (c+1)*grain), so shard index = begin / grain. Merging
-  // in shard order makes the result independent of thread count.
-  const std::int64_t shards =
-      total == 0 ? 0 : (total + kSentenceGrain - 1) / kSentenceGrain;
-  std::vector<eval::ExactMatchEvaluator> shard_evs(shards);
-  runtime::ParallelFor(
-      total, kSentenceGrain, [&](std::int64_t begin, std::int64_t end) {
-        eval::ExactMatchEvaluator& ev = shard_evs[begin / kSentenceGrain];
-        for (std::int64_t i = begin; i < end; ++i) {
-          const text::Sentence& s = sentences[i];
-          std::vector<text::Span> spans;
-          if (!s.tokens.empty()) spans = Predict(s.tokens);
-          ev.Add(s.spans, spans);
-        }
-      });
   eval::ExactMatchEvaluator ev;
-  for (const eval::ExactMatchEvaluator& shard : shard_evs) ev.Merge(shard);
+  if (plan_inference_) {
+    const std::vector<std::vector<text::Span>> predicted =
+        PredictPlanned(corpus);
+    for (std::size_t i = 0; i < sentences.size(); ++i) {
+      ev.Add(sentences[i].spans, predicted[i]);
+    }
+  } else {
+    const std::int64_t total = static_cast<std::int64_t>(sentences.size());
+    // One evaluator per fixed-boundary shard; ParallelFor guarantees chunk
+    // c covers [c*grain, (c+1)*grain), so shard index = begin / grain.
+    // Merging in shard order makes the result independent of thread count.
+    const std::int64_t shards =
+        total == 0 ? 0 : (total + kSentenceGrain - 1) / kSentenceGrain;
+    std::vector<eval::ExactMatchEvaluator> shard_evs(shards);
+    runtime::ParallelFor(
+        total, kSentenceGrain, [&](std::int64_t begin, std::int64_t end) {
+          eval::ExactMatchEvaluator& shard_ev =
+              shard_evs[begin / kSentenceGrain];
+          for (std::int64_t i = begin; i < end; ++i) {
+            const text::Sentence& s = sentences[i];
+            std::vector<text::Span> spans;
+            if (!s.tokens.empty()) spans = Predict(s.tokens);
+            shard_ev.Add(s.spans, spans);
+          }
+        });
+    for (const eval::ExactMatchEvaluator& shard : shard_evs) ev.Merge(shard);
+  }
   if (timed) RecordCorpusThroughput("eval", corpus, sw.Seconds());
   return ev.Result();
 }

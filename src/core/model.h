@@ -5,6 +5,7 @@
 #define DLNER_CORE_MODEL_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "encoders/recursive.h"
 #include "eval/metrics.h"
 #include "obs/metrics.h"
+#include "plan/plan.h"
 #include "text/tagging.h"
 #include "text/vocab.h"
 
@@ -57,9 +59,11 @@ class NerModel : public Module {
   /// from multiple threads on a shared model.
   std::vector<text::Span> Predict(const std::vector<std::string>& tokens) const;
 
-  /// Predictions for every sentence of a corpus, in corpus order. Sentences
-  /// are sharded across the runtime's thread pool; the result is identical
-  /// to calling Predict sequentially.
+  /// Predictions for every sentence of a corpus, in corpus order. With plan
+  /// inference enabled (the default) sentences run through the compiled
+  /// batched plan in packed micro-batches; otherwise per-sentence Predict
+  /// calls are sharded across the thread pool. Both paths produce results
+  /// identical to calling Predict sequentially.
   std::vector<std::vector<text::Span>> PredictCorpus(
       const text::Corpus& corpus) const;
 
@@ -104,8 +108,23 @@ class NerModel : public Module {
   decoders::TagDecoder* decoder() { return decoder_.get(); }
   Rng* rng() { return &rng_; }
 
+  /// Toggles the compiled batched path for corpus-level inference at
+  /// runtime (e.g. to use eager as a differential oracle). Single-sentence
+  /// Predict always runs eager.
+  void set_plan_inference(bool enabled) { plan_inference_ = enabled; }
+  bool plan_inference() const { return plan_inference_; }
+
+  /// The compiled inference plan for this model's architecture. Built
+  /// lazily on first use (under a "plan/compile" span) and cached.
+  const plan::InferencePlan& plan() const;
+
  private:
   void Build(const Resources& resources);
+
+  /// Packed micro-batch prediction through the compiled plan. Returns one
+  /// span vector per corpus sentence (empty sentences yield empty vectors).
+  std::vector<std::vector<text::Span>> PredictPlanned(
+      const text::Corpus& corpus) const;
 
   NerConfig config_;
   Rng rng_;
@@ -119,6 +138,10 @@ class NerModel : public Module {
   // can use heuristic trees built from token strings.
   encoders::RecursiveEncoder* recursive_encoder_ = nullptr;
   std::unique_ptr<decoders::TagDecoder> decoder_;
+
+  bool plan_inference_ = true;
+  mutable std::once_flag plan_once_;
+  mutable std::unique_ptr<plan::InferencePlan> plan_;
 
   // Per-module wall-time instruments, registered once in Build under names
   // carrying the configured module kinds (e.g. "encoder.bilstm.forward_us")

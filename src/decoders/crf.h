@@ -47,6 +47,7 @@ class CrfDecoder : public TagDecoder {
   Tensor Marginals(const Tensor& emissions) const;
 
   const text::TagSet& tags() const { return *tags_; }
+  const Linear& proj() const { return *proj_; }
 
  private:
   const text::TagSet* tags_;  // not owned

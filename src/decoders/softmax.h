@@ -21,6 +21,7 @@ class SoftmaxDecoder : public TagDecoder {
   std::vector<text::Span> Predict(const Var& encodings) const override;
   std::vector<Var> Parameters() const override { return proj_->Parameters(); }
   const text::TagSet& tags() const { return *tags_; }
+  const Linear& proj() const { return *proj_; }
 
  private:
   const text::TagSet* tags_;  // not owned

@@ -47,6 +47,7 @@ class WordEmbeddingFeature : public TokenFeature {
     return embedding_->Parameters();
   }
   Embedding* embedding() { return embedding_.get(); }
+  const Embedding& embedding() const { return *embedding_; }
   const text::Vocabulary& vocab() const { return *vocab_; }
 
  private:
@@ -82,6 +83,7 @@ class GazetteerFeature : public TokenFeature {
               bool training) const override;
   int dim() const override;
   std::vector<Var> Parameters() const override { return {}; }
+  const data::Gazetteer& gazetteer() const { return *gazetteer_; }
 
  private:
   const data::Gazetteer* gazetteer_;  // not owned
@@ -100,6 +102,9 @@ class ComposedRepresentation : public TokenFeature {
   std::vector<Var> Parameters() const override;
 
   int feature_count() const { return static_cast<int>(features_.size()); }
+  const std::vector<std::unique_ptr<TokenFeature>>& features() const {
+    return features_;
+  }
 
  private:
   std::vector<std::unique_ptr<TokenFeature>> features_;

@@ -32,6 +32,9 @@ class CnnEncoder : public ContextEncoder {
   Var Encode(const Var& input, bool training) const override;
   int out_dim() const override;
   std::vector<Var> Parameters() const override;
+  int hidden_dim() const { return hidden_dim_; }
+  bool global_feature() const { return global_feature_; }
+  const std::vector<std::unique_ptr<Conv1d>>& layers() const { return layers_; }
 
  private:
   int hidden_dim_;
@@ -49,6 +52,12 @@ class IdCnnEncoder : public ContextEncoder {
   Var Encode(const Var& input, bool training) const override;
   int out_dim() const override { return hidden_dim_; }
   std::vector<Var> Parameters() const override;
+  int iterations() const { return iterations_; }
+  const Linear& project() const { return *project_; }
+  const std::vector<std::unique_ptr<Conv1d>>& block() const { return block_; }
+  const std::vector<std::unique_ptr<LayerNorm>>& norms() const {
+    return norms_;
+  }
 
  private:
   int hidden_dim_;

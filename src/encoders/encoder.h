@@ -30,6 +30,7 @@ class MlpEncoder : public ContextEncoder {
   Var Encode(const Var& input, bool training) const override;
   int out_dim() const override { return hidden_->out_dim(); }
   std::vector<Var> Parameters() const override { return hidden_->Parameters(); }
+  const Linear& hidden() const { return *hidden_; }
 
  private:
   std::unique_ptr<Linear> hidden_;

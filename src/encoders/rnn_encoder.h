@@ -24,6 +24,7 @@ class RnnEncoder : public ContextEncoder {
   Var Encode(const Var& input, bool training) const override;
   int out_dim() const override { return 2 * hidden_dim_; }
   std::vector<Var> Parameters() const override;
+  const std::vector<std::unique_ptr<BiRnn>>& layers() const { return layers_; }
 
  private:
   int hidden_dim_;

@@ -164,7 +164,8 @@ std::size_t Metrics::NumSeries() const {
          series_.size();
 }
 
-void Metrics::WriteJson(std::ostream& os) const {
+void Metrics::WriteJson(std::ostream& os,
+                        const MetricsJsonOptions& options) const {
   using internal::JsonEscape;
   using internal::JsonNumber;
   // One (name, body) entry per instrument, then emitted sorted by name so
@@ -182,6 +183,7 @@ void Metrics::WriteJson(std::ostream& os) const {
                                      JsonNumber(g->value()) + "}");
     }
     for (const auto& [name, h] : histograms_) {
+      if (options.skip_empty_histograms && h->count() == 0) continue;
       std::string body = "{\"type\": \"histogram\", \"count\": " +
                          std::to_string(h->count());
       body += ", \"sum\": " + JsonNumber(h->sum());
@@ -216,10 +218,11 @@ void Metrics::WriteJson(std::ostream& os) const {
   os << "}\n}\n";
 }
 
-bool Metrics::WriteJson(const std::string& path) const {
+bool Metrics::WriteJson(const std::string& path,
+                        const MetricsJsonOptions& options) const {
   std::ofstream os(path);
   if (!os) return false;
-  WriteJson(os);
+  WriteJson(os, options);
   return static_cast<bool>(os);
 }
 

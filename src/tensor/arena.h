@@ -1,0 +1,60 @@
+// Bump-pointer arena for inference-plan activation buffers.
+//
+// The planned batch path (src/plan/) sizes every intermediate up front and
+// frees nothing mid-batch, so allocation reduces to pointer arithmetic:
+// Alloc bumps a cursor inside a block, Reset rewinds the cursors while
+// keeping the blocks, and after the first batch of a given shape the hot
+// path performs zero heap allocation. Each worker thread owns its own
+// arena (thread_local in plan.cc), so no synchronization is needed.
+#ifndef DLNER_TENSOR_ARENA_H_
+#define DLNER_TENSOR_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dlner {
+
+class Arena {
+ public:
+  /// Capacity (in Floats) of the first block; later blocks double.
+  static constexpr std::size_t kInitialFloats = 1u << 13;  // 64 KiB
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `n` Floats, valid until the next Reset.
+  Float* Alloc(std::size_t n);
+
+  /// Zero-filled storage for `n` Floats.
+  Float* AllocZero(std::size_t n);
+
+  /// Rewinds every block cursor; capacity is retained for reuse.
+  void Reset();
+
+  /// Total bytes of block capacity ever reserved (monotone).
+  std::size_t bytes_reserved() const { return reserved_floats_ * sizeof(Float); }
+
+  /// Peak bytes simultaneously in use across the arena's lifetime.
+  std::size_t high_water() const { return high_water_floats_ * sizeof(Float); }
+
+ private:
+  struct Block {
+    std::unique_ptr<Float[]> data;
+    std::size_t capacity = 0;  // in Floats
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;           // index of the block being bumped
+  std::size_t used_ = 0;            // Floats used within blocks_[block_]
+  std::size_t in_use_floats_ = 0;   // Floats live since the last Reset
+  std::size_t reserved_floats_ = 0;
+  std::size_t high_water_floats_ = 0;
+};
+
+}  // namespace dlner
+
+#endif  // DLNER_TENSOR_ARENA_H_

@@ -1,0 +1,319 @@
+#include "tensor/batched.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/gemm.h"
+
+namespace dlner::batched {
+namespace {
+
+inline Float SigmoidScalar(Float v) { return 1.0 / (1.0 + std::exp(-v)); }
+
+}  // namespace
+
+int BatchLayout::max_len() const {
+  int m = 0;
+  for (int b = 0; b < batch(); ++b) m = std::max(m, len(b));
+  return m;
+}
+
+void Affine(const Float* x, int rows, const Tensor& w, const Tensor& b,
+            Float* out, Act act) {
+  DLNER_CHECK_EQ(w.dim(), 2);
+  DLNER_CHECK_EQ(b.dim(), 1);
+  const int k = w.rows();
+  const int n = w.cols();
+  DLNER_CHECK_EQ(n, b.size());
+  const Float* bias = b.data();
+  for (int i = 0; i < rows; ++i) {
+    std::memcpy(out + static_cast<std::size_t>(i) * n, bias,
+                sizeof(Float) * static_cast<std::size_t>(n));
+  }
+  gemm::GemmAccum(x, w.data(), out, rows, k, n);
+  const int total = rows * n;
+  switch (act) {
+    case Act::kNone:
+      break;
+    case Act::kRelu:
+      for (int i = 0; i < total; ++i) out[i] = std::max(out[i], 0.0);
+      break;
+    case Act::kTanh:
+      for (int i = 0; i < total; ++i) out[i] = std::tanh(out[i]);
+      break;
+  }
+}
+
+void ReluInPlace(Float* x, int n) {
+  for (int i = 0; i < n; ++i) x[i] = std::max(x[i], 0.0);
+}
+
+void UnfoldSegments(const Float* x, int d, const BatchLayout& layout,
+                    int width, int dilation, Float* out) {
+  DLNER_CHECK_EQ(width % 2, 1);
+  DLNER_CHECK_GE(dilation, 1);
+  const int half = width / 2;
+  const int wd = width * d;
+  std::memset(out, 0,
+              static_cast<std::size_t>(layout.rows()) * wd * sizeof(Float));
+  for (int b = 0; b < layout.batch(); ++b) {
+    const int off = layout.offset(b);
+    const int len = layout.len(b);
+    for (int t = 0; t < len; ++t) {
+      Float* orow = out + static_cast<std::size_t>(off + t) * wd;
+      for (int k = -half; k <= half; ++k) {
+        const int src = t + k * dilation;
+        if (src < 0 || src >= len) continue;
+        std::memcpy(orow + (k + half) * d,
+                    x + static_cast<std::size_t>(off + src) * d,
+                    static_cast<std::size_t>(d) * sizeof(Float));
+      }
+    }
+  }
+}
+
+void ConvSegments(const Float* x, int d, const BatchLayout& layout,
+                  int width, int dilation, const Tensor& w, const Tensor& b,
+                  Float* out, Act act) {
+  DLNER_CHECK_EQ(width % 2, 1);
+  DLNER_CHECK_GE(dilation, 1);
+  DLNER_CHECK_EQ(w.rows(), width * d);
+  const int half = width / 2;
+  const int n = w.cols();
+  DLNER_CHECK_EQ(n, b.size());
+  const Float* wm = w.data();
+  const Float* bias = b.data();
+  for (int seg = 0; seg < layout.batch(); ++seg) {
+    const int off = layout.offset(seg);
+    const int len = layout.len(seg);
+    if (len == 0) continue;
+    Float* cseg = out + static_cast<std::size_t>(off) * n;
+    for (int t = 0; t < len; ++t) {
+      std::memcpy(cseg + static_cast<std::size_t>(t) * n, bias,
+                  static_cast<std::size_t>(n) * sizeof(Float));
+    }
+    // One strided GEMM per window offset: slab k covers unfolded columns
+    // [(k+half)*d, (k+half+1)*d), and slabs run in ascending k, so every
+    // output element still accumulates in ascending unfolded-column order.
+    // Tokens whose offset-k neighbor falls outside the segment are simply
+    // excluded from that slab's row range — those are exactly the
+    // zero-padded slots the dense kernel would have skipped.
+    for (int k = -half; k <= half; ++k) {
+      const int ko = k * dilation;
+      const int t0 = std::max(0, -ko);
+      const int t1 = std::min(len, len - ko);
+      if (t1 <= t0) continue;
+      gemm::GemmAccumStrided(
+          x + static_cast<std::size_t>(off + t0 + ko) * d, d,
+          wm + static_cast<std::size_t>(k + half) * d * n,
+          cseg + static_cast<std::size_t>(t0) * n, t1 - t0, d, n);
+    }
+    const int total = len * n;
+    switch (act) {
+      case Act::kNone:
+        break;
+      case Act::kRelu:
+        for (int i = 0; i < total; ++i) cseg[i] = std::max(cseg[i], 0.0);
+        break;
+      case Act::kTanh:
+        for (int i = 0; i < total; ++i) cseg[i] = std::tanh(cseg[i]);
+        break;
+    }
+  }
+}
+
+void LayerNormRows(const Float* x, int rows, int d, const Tensor& gain,
+                   const Tensor& bias, Float* out) {
+  DLNER_CHECK_EQ(gain.size(), d);
+  DLNER_CHECK_EQ(bias.size(), d);
+  constexpr Float kEps = 1e-5;  // must match LayerNorm::Apply
+  const Float* g = gain.data();
+  const Float* be = bias.data();
+  for (int i = 0; i < rows; ++i) {
+    const Float* row = x + static_cast<std::size_t>(i) * d;
+    Float* orow = out + static_cast<std::size_t>(i) * d;
+    Float mu = 0.0;
+    for (int j = 0; j < d; ++j) mu += row[j];
+    mu /= d;
+    Float var = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const Float c = row[j] - mu;
+      var += c * c;
+    }
+    var /= d;
+    const Float inv_sigma = 1.0 / std::sqrt(var + kEps);
+    for (int j = 0; j < d; ++j) {
+      const Float xhat = (row[j] - mu) * inv_sigma;
+      orow[j] = g[j] * xhat + be[j];
+    }
+  }
+}
+
+void GlobalMaxConcat(const Float* h, int d, const BatchLayout& layout,
+                     Float* out) {
+  const int od = 2 * d;
+  for (int b = 0; b < layout.batch(); ++b) {
+    const int off = layout.offset(b);
+    const int len = layout.len(b);
+    for (int t = 0; t < len; ++t) {
+      std::memcpy(out + static_cast<std::size_t>(off + t) * od,
+                  h + static_cast<std::size_t>(off + t) * d,
+                  static_cast<std::size_t>(d) * sizeof(Float));
+    }
+    // Column-wise max over the segment, written once into the first row's
+    // second half and copied to the rest (no scratch allocation).
+    Float* global = out + static_cast<std::size_t>(off) * od + d;
+    for (int j = 0; j < d; ++j) {
+      Float best = h[static_cast<std::size_t>(off) * d + j];
+      for (int t = 1; t < len; ++t) {
+        const Float v = h[static_cast<std::size_t>(off + t) * d + j];
+        if (v > best) best = v;
+      }
+      global[j] = best;
+    }
+    for (int t = 1; t < len; ++t) {
+      std::memcpy(out + static_cast<std::size_t>(off + t) * od + d, global,
+                  static_cast<std::size_t>(d) * sizeof(Float));
+    }
+  }
+}
+
+namespace {
+
+// One direction of a packed-batch LSTM layer. At step s every segment with
+// len > s is "active"; active lanes are compacted (in segment order) into
+// one gate GEMM, then stepped elementwise with exactly the eager cell's
+// arithmetic: gates order i,f,o,g; c = f*c + i*g; h = o*tanh(c).
+void RunLstmDir(const Float* x, int in_dim, int hidden,
+                const BatchLayout& layout, const LstmDir& dir, bool reverse,
+                Float* out, int out_stride, int col0, Arena* arena) {
+  const int batch = layout.batch();
+  const int zdim = in_dim + hidden;
+  const int gdim = 4 * hidden;
+  Float* h_prev = arena->AllocZero(static_cast<std::size_t>(batch) * hidden);
+  Float* c_prev = arena->AllocZero(static_cast<std::size_t>(batch) * hidden);
+  Float* z = arena->Alloc(static_cast<std::size_t>(batch) * zdim);
+  Float* gates = arena->Alloc(static_cast<std::size_t>(batch) * gdim);
+  std::vector<int> lanes(batch);
+  const int max_len = layout.max_len();
+  for (int s = 0; s < max_len; ++s) {
+    int na = 0;
+    for (int b = 0; b < batch; ++b) {
+      const int len = layout.len(b);
+      if (len <= s) continue;
+      const int t = reverse ? len - 1 - s : s;
+      Float* zrow = z + static_cast<std::size_t>(na) * zdim;
+      std::memcpy(zrow, x + static_cast<std::size_t>(layout.offset(b) + t) * in_dim,
+                  static_cast<std::size_t>(in_dim) * sizeof(Float));
+      std::memcpy(zrow + in_dim, h_prev + static_cast<std::size_t>(b) * hidden,
+                  static_cast<std::size_t>(hidden) * sizeof(Float));
+      lanes[na++] = b;
+    }
+    Affine(z, na, *dir.w, *dir.b, gates, Act::kNone);
+    for (int a = 0; a < na; ++a) {
+      const int b = lanes[a];
+      const Float* g = gates + static_cast<std::size_t>(a) * gdim;
+      Float* hp = h_prev + static_cast<std::size_t>(b) * hidden;
+      Float* cp = c_prev + static_cast<std::size_t>(b) * hidden;
+      const int t = reverse ? layout.len(b) - 1 - s : s;
+      Float* orow =
+          out + static_cast<std::size_t>(layout.offset(b) + t) * out_stride +
+          col0;
+      for (int j = 0; j < hidden; ++j) {
+        const Float gi = SigmoidScalar(g[j]);
+        const Float gf = SigmoidScalar(g[hidden + j]);
+        const Float go = SigmoidScalar(g[2 * hidden + j]);
+        const Float gg = std::tanh(g[3 * hidden + j]);
+        const Float c = gf * cp[j] + gi * gg;
+        const Float h = go * std::tanh(c);
+        cp[j] = c;
+        hp[j] = h;
+        orow[j] = h;
+      }
+    }
+  }
+}
+
+// One direction of a packed-batch GRU layer; mirrors GruCell::Step:
+// r,z gates from [x, h]; candidate from [x, r*h]; h = (1-z)*h + z*h~.
+void RunGruDir(const Float* x, int in_dim, int hidden,
+               const BatchLayout& layout, const GruDir& dir, bool reverse,
+               Float* out, int out_stride, int col0, Arena* arena) {
+  const int batch = layout.batch();
+  const int zdim = in_dim + hidden;
+  const int rdim = 2 * hidden;
+  Float* h_prev = arena->AllocZero(static_cast<std::size_t>(batch) * hidden);
+  Float* z = arena->Alloc(static_cast<std::size_t>(batch) * zdim);
+  Float* rz = arena->Alloc(static_cast<std::size_t>(batch) * rdim);
+  Float* zc = arena->Alloc(static_cast<std::size_t>(batch) * zdim);
+  Float* cand = arena->Alloc(static_cast<std::size_t>(batch) * hidden);
+  std::vector<int> lanes(batch);
+  const int max_len = layout.max_len();
+  for (int s = 0; s < max_len; ++s) {
+    int na = 0;
+    for (int b = 0; b < batch; ++b) {
+      const int len = layout.len(b);
+      if (len <= s) continue;
+      const int t = reverse ? len - 1 - s : s;
+      Float* zrow = z + static_cast<std::size_t>(na) * zdim;
+      std::memcpy(zrow, x + static_cast<std::size_t>(layout.offset(b) + t) * in_dim,
+                  static_cast<std::size_t>(in_dim) * sizeof(Float));
+      std::memcpy(zrow + in_dim, h_prev + static_cast<std::size_t>(b) * hidden,
+                  static_cast<std::size_t>(hidden) * sizeof(Float));
+      lanes[na++] = b;
+    }
+    Affine(z, na, *dir.rz_w, *dir.rz_b, rz, Act::kNone);
+    for (int a = 0; a < na; ++a) {
+      const int b = lanes[a];
+      const Float* rzrow = rz + static_cast<std::size_t>(a) * rdim;
+      const Float* hp = h_prev + static_cast<std::size_t>(b) * hidden;
+      Float* zcrow = zc + static_cast<std::size_t>(a) * zdim;
+      std::memcpy(zcrow, z + static_cast<std::size_t>(a) * zdim,
+                  static_cast<std::size_t>(in_dim) * sizeof(Float));
+      for (int j = 0; j < hidden; ++j) {
+        zcrow[in_dim + j] = SigmoidScalar(rzrow[j]) * hp[j];
+      }
+    }
+    Affine(zc, na, *dir.cand_w, *dir.cand_b, cand, Act::kNone);
+    for (int a = 0; a < na; ++a) {
+      const int b = lanes[a];
+      const Float* rzrow = rz + static_cast<std::size_t>(a) * rdim;
+      const Float* crow = cand + static_cast<std::size_t>(a) * hidden;
+      Float* hp = h_prev + static_cast<std::size_t>(b) * hidden;
+      const int t = reverse ? layout.len(b) - 1 - s : s;
+      Float* orow =
+          out + static_cast<std::size_t>(layout.offset(b) + t) * out_stride +
+          col0;
+      for (int j = 0; j < hidden; ++j) {
+        const Float zg = SigmoidScalar(rzrow[hidden + j]);
+        const Float h_tilde = std::tanh(crow[j]);
+        const Float h = (1.0 - zg) * hp[j] + zg * h_tilde;
+        hp[j] = h;
+        orow[j] = h;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void BiLstm(const Float* x, int in_dim, int hidden, const BatchLayout& layout,
+            const LstmDir& fwd, const LstmDir& bwd, Float* out, Arena* arena) {
+  const int stride = 2 * hidden;
+  RunLstmDir(x, in_dim, hidden, layout, fwd, /*reverse=*/false, out, stride,
+             /*col0=*/0, arena);
+  RunLstmDir(x, in_dim, hidden, layout, bwd, /*reverse=*/true, out, stride,
+             /*col0=*/hidden, arena);
+}
+
+void BiGru(const Float* x, int in_dim, int hidden, const BatchLayout& layout,
+           const GruDir& fwd, const GruDir& bwd, Float* out, Arena* arena) {
+  const int stride = 2 * hidden;
+  RunGruDir(x, in_dim, hidden, layout, fwd, /*reverse=*/false, out, stride,
+            /*col0=*/0, arena);
+  RunGruDir(x, in_dim, hidden, layout, bwd, /*reverse=*/true, out, stride,
+            /*col0=*/hidden, arena);
+}
+
+}  // namespace dlner::batched

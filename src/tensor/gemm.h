@@ -1,0 +1,90 @@
+// Raw-pointer GEMM kernels shared by the autograd ops (ops.cc) and the
+// packed-batch inference kernels (batched.cc).
+//
+// All three access A, B, and C strictly row-major with hoisted row
+// pointers. The forward kernel additionally blocks the inner (k) dimension
+// so a slab of B rows stays cache-resident across the rows of A. Zero
+// entries of A are skipped: activation matrices from ReLU layers and
+// one-hot-ish features are sparse enough for the branch to pay for itself.
+//
+// Every output row is accumulated independently and in ascending-k order
+// (blocking only changes which rows of B are resident, not the per-row
+// summation order), which is what lets the planned batch path produce
+// bit-identical results to the per-sentence eager path: a packed
+// [sum(T), k] x [k, n] GEMM computes exactly the same per-row sums as B
+// separate per-sentence GEMMs or AffineVec calls.
+#ifndef DLNER_TENSOR_GEMM_H_
+#define DLNER_TENSOR_GEMM_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace dlner::gemm {
+
+inline constexpr int kGemmBlock = 32;
+
+// C[m,n] += A[m,k] * B[k,n], where consecutive logical rows of A start
+// `lda` floats apart. lda may be smaller than k — overlapping rows, which
+// is how the implicit-convolution kernel (batched::ConvSegments) reads
+// sliding windows of a sequence without materializing an unfolded copy.
+// The per-row summation order is identical to GemmAccum (the lda == k
+// case), so strided and dense calls over the same values are bit-identical.
+template <typename Float>
+void GemmAccumStrided(const Float* a, int lda, const Float* b, Float* c,
+                      int m, int k, int n) {
+  for (int p0 = 0; p0 < k; p0 += kGemmBlock) {
+    const int p1 = std::min(k, p0 + kGemmBlock);
+    for (int i = 0; i < m; ++i) {
+      const Float* arow = a + static_cast<std::size_t>(i) * lda;
+      Float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int p = p0; p < p1; ++p) {
+        const Float av = arow[p];
+        if (av == 0.0) continue;
+        const Float* brow = b + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// C[m,n] += A[m,k] * B[k,n]
+template <typename Float>
+void GemmAccum(const Float* a, const Float* b, Float* c, int m, int k, int n) {
+  GemmAccumStrided(a, k, b, c, m, k, n);
+}
+
+// dA[m,k] += dC[m,n] * B^T  (row-dot-row: both operands stream row-major)
+template <typename Float>
+void GemmAccumGradA(const Float* dc, const Float* b, Float* da, int m, int k,
+                    int n) {
+  for (int i = 0; i < m; ++i) {
+    const Float* grow = dc + static_cast<std::size_t>(i) * n;
+    Float* darow = da + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const Float* brow = b + static_cast<std::size_t>(p) * n;
+      Float s = 0.0;
+      for (int j = 0; j < n; ++j) s += grow[j] * brow[j];
+      darow[p] += s;
+    }
+  }
+}
+
+// dB[k,n] += A^T * dC
+template <typename Float>
+void GemmAccumGradB(const Float* a, const Float* dc, Float* db, int m, int k,
+                    int n) {
+  for (int i = 0; i < m; ++i) {
+    const Float* arow = a + static_cast<std::size_t>(i) * k;
+    const Float* grow = dc + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const Float av = arow[p];
+      if (av == 0.0) continue;
+      Float* dbrow = db + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+    }
+  }
+}
+
+}  // namespace dlner::gemm
+
+#endif  // DLNER_TENSOR_GEMM_H_

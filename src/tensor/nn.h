@@ -81,6 +81,8 @@ class Linear : public Module {
   std::vector<Var> Parameters() const override { return {weight_, bias_}; }
   int in_dim() const { return in_dim_; }
   int out_dim() const { return out_dim_; }
+  const Var& weight() const { return weight_; }
+  const Var& bias() const { return bias_; }
 
  private:
   int in_dim_;
@@ -133,6 +135,8 @@ class LayerNorm : public Module {
   Var Apply(const Var& x) const;
 
   std::vector<Var> Parameters() const override { return {gain_, bias_}; }
+  const Var& gain() const { return gain_; }
+  const Var& bias() const { return bias_; }
 
  private:
   int dim_;
@@ -154,6 +158,8 @@ class Conv1d : public Module {
   std::vector<Var> Parameters() const override { return {weight_, bias_}; }
   int width() const { return width_; }
   int dilation() const { return dilation_; }
+  const Var& weight() const { return weight_; }
+  const Var& bias() const { return bias_; }
 
  private:
   int width_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/gemm.h"
+
 namespace dlner {
 namespace {
 
@@ -40,64 +42,12 @@ bool CanReuseBuffer(const Var& a) {
   return !a->requires_grad && a.use_count() == 1;
 }
 
-// ---------------------------------------------------------------------------
-// Raw-pointer GEMM kernels shared by MatMul and the fused affine ops.
-//
-// All three access A, B, and C strictly row-major with hoisted row pointers.
-// The forward kernel additionally blocks the inner (k) dimension so a slab
-// of B rows stays cache-resident across the rows of A. Zero entries of A
-// are skipped: activation matrices from ReLU layers and one-hot-ish
-// features are sparse enough for the branch to pay for itself.
-// ---------------------------------------------------------------------------
-
-constexpr int kGemmBlock = 32;
-
-// C[m,n] += A[m,k] * B[k,n]
-void GemmAccum(const Float* a, const Float* b, Float* c, int m, int k, int n) {
-  for (int p0 = 0; p0 < k; p0 += kGemmBlock) {
-    const int p1 = std::min(k, p0 + kGemmBlock);
-    for (int i = 0; i < m; ++i) {
-      const Float* arow = a + static_cast<std::size_t>(i) * k;
-      Float* crow = c + static_cast<std::size_t>(i) * n;
-      for (int p = p0; p < p1; ++p) {
-        const Float av = arow[p];
-        if (av == 0.0) continue;
-        const Float* brow = b + static_cast<std::size_t>(p) * n;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }
-}
-
-// dA[m,k] += dC[m,n] * B^T  (row-dot-row: both operands stream row-major)
-void GemmAccumGradA(const Float* dc, const Float* b, Float* da, int m, int k,
-                    int n) {
-  for (int i = 0; i < m; ++i) {
-    const Float* grow = dc + static_cast<std::size_t>(i) * n;
-    Float* darow = da + static_cast<std::size_t>(i) * k;
-    for (int p = 0; p < k; ++p) {
-      const Float* brow = b + static_cast<std::size_t>(p) * n;
-      Float s = 0.0;
-      for (int j = 0; j < n; ++j) s += grow[j] * brow[j];
-      darow[p] += s;
-    }
-  }
-}
-
-// dB[k,n] += A^T * dC
-void GemmAccumGradB(const Float* a, const Float* dc, Float* db, int m, int k,
-                    int n) {
-  for (int i = 0; i < m; ++i) {
-    const Float* arow = a + static_cast<std::size_t>(i) * k;
-    const Float* grow = dc + static_cast<std::size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const Float av = arow[p];
-      if (av == 0.0) continue;
-      Float* dbrow = db + static_cast<std::size_t>(p) * n;
-      for (int j = 0; j < n; ++j) dbrow[j] += av * grow[j];
-    }
-  }
-}
+// GEMM kernels live in tensor/gemm.h so the packed-batch inference path
+// (batched.cc) runs literally the same code — bit-identical planned vs
+// eager results depend on sharing the kernel, not reimplementing it.
+using gemm::GemmAccum;
+using gemm::GemmAccumGradA;
+using gemm::GemmAccumGradB;
 
 }  // namespace
 

@@ -43,6 +43,7 @@ class LstmCell : public RnnCell {
   std::vector<Var> Parameters() const override;
   int in_dim() const override { return in_dim_; }
   int hidden_dim() const override { return hidden_dim_; }
+  const Linear& gates() const { return *gates_; }
 
  private:
   int in_dim_;
@@ -61,6 +62,8 @@ class GruCell : public RnnCell {
   std::vector<Var> Parameters() const override;
   int in_dim() const override { return in_dim_; }
   int hidden_dim() const override { return hidden_dim_; }
+  const Linear& rz() const { return *rz_; }
+  const Linear& candidate() const { return *candidate_; }
 
  private:
   int in_dim_;
@@ -91,6 +94,8 @@ class BiRnn : public Module {
 
   std::vector<Var> Parameters() const override;
   int out_dim() const { return 2 * forward_->hidden_dim(); }
+  const RnnCell& forward_cell() const { return *forward_; }
+  const RnnCell& backward_cell() const { return *backward_; }
 
  private:
   std::unique_ptr<RnnCell> forward_;

@@ -297,5 +297,110 @@ TEST(PipelineDifferentialTest, EveryEncoderDecoderComboAgreesWithOracle) {
   }
 }
 
+// --- Compiled inference plan vs eager per-sentence path -------------------
+//
+// The planned batch path shares its GEMM kernel (and replicates every other
+// per-element operation order) with the eager modules, so the contract is
+// bit-identical predictions, not "close".
+
+std::vector<std::vector<text::Span>> PredictWith(core::NerModel* model,
+                                                 const text::Corpus& corpus,
+                                                 bool planned) {
+  model->set_plan_inference(planned);
+  return model->PredictCorpus(corpus);
+}
+
+TEST(PlanDifferentialTest, PlannedMatchesEagerOnEveryEncoderDecoderCell) {
+  // All 42 taxonomy cells: batched emitters (mlp/cnn/idcnn/bilstm/bigru
+  // encoders, softmax/crf decoders) and the eager-bridge fallbacks must both
+  // agree exactly with the plain eager path.
+  const text::Corpus corpus = testsup::SmallCorpus("conll-like", 20, 91);
+  const std::vector<std::string> types = EntityTypesOf(corpus);
+  for (const std::string& encoder : AllEncoders()) {
+    for (const std::string& decoder : AllDecoders()) {
+      const std::string cell = encoder + "/" + decoder;
+      core::NerModel model(TinyConfig(encoder, decoder, 7), corpus, types);
+      const auto eager = PredictWith(&model, corpus, false);
+      const auto planned = PredictWith(&model, corpus, true);
+      ASSERT_EQ(planned.size(), eager.size()) << cell;
+      for (size_t i = 0; i < eager.size(); ++i) {
+        EXPECT_EQ(planned[i], eager[i]) << cell << " sentence " << i;
+      }
+    }
+  }
+}
+
+TEST(PlanDifferentialTest, PlannedMatchesEagerAcrossBatchSizesAndRaggedMixes) {
+  // Corpus sizes 1, 3, and 17 (17 crosses the 16-sentence micro-batch
+  // boundary), plus a mix that interleaves empty and truncated sentences so
+  // segment boundaries land everywhere in the packed layout.
+  const text::Corpus base = testsup::SmallCorpus("conll-like", 17, 92);
+  const std::vector<std::string> types = EntityTypesOf(base);
+  const std::pair<std::string, std::string> cells[] = {
+      {"cnn", "softmax"}, {"bilstm", "crf"}, {"idcnn", "crf"}};
+  for (const auto& [encoder, decoder] : cells) {
+    const std::string cell = encoder + "/" + decoder;
+    core::NerModel model(TinyConfig(encoder, decoder, 19), base, types);
+    for (const int size : {1, 3, 17}) {
+      text::Corpus sub;
+      sub.sentences.assign(base.sentences.begin(),
+                           base.sentences.begin() + size);
+      const auto eager = PredictWith(&model, sub, false);
+      const auto planned = PredictWith(&model, sub, true);
+      ASSERT_EQ(planned.size(), eager.size()) << cell << " size " << size;
+      for (size_t i = 0; i < eager.size(); ++i) {
+        EXPECT_EQ(planned[i], eager[i])
+            << cell << " size " << size << " sentence " << i;
+      }
+    }
+    text::Corpus ragged;
+    for (int i = 0; i < base.size(); ++i) {
+      if (i % 3 == 0) ragged.sentences.emplace_back();  // empty sentence
+      text::Sentence s = base.sentences[i];
+      if (i % 2 == 0 && s.size() > 2) {
+        s.tokens.resize(2);
+        s.spans.clear();
+      }
+      ragged.sentences.push_back(std::move(s));
+    }
+    const auto eager = PredictWith(&model, ragged, false);
+    const auto planned = PredictWith(&model, ragged, true);
+    ASSERT_EQ(planned.size(), eager.size()) << cell;
+    for (size_t i = 0; i < eager.size(); ++i) {
+      EXPECT_EQ(planned[i], eager[i]) << cell << " ragged sentence " << i;
+    }
+  }
+}
+
+TEST(PlanDifferentialTest, PlannedMatchesEagerWithHybridFeatures) {
+  // A composed representation (word + shape features) makes the embed step
+  // a multi-slice fill; the planned path must still agree exactly.
+  const text::Corpus corpus = testsup::SmallCorpus("conll-like", 12, 93);
+  const std::vector<std::string> types = EntityTypesOf(corpus);
+  core::NerConfig config = TinyConfig("cnn", "crf", 23);
+  config.use_shape = true;
+  core::NerModel model(config, corpus, types);
+  const auto eager = PredictWith(&model, corpus, false);
+  const auto planned = PredictWith(&model, corpus, true);
+  ASSERT_EQ(planned.size(), eager.size());
+  for (size_t i = 0; i < eager.size(); ++i) {
+    EXPECT_EQ(planned[i], eager[i]) << "sentence " << i;
+  }
+}
+
+TEST(PlanDifferentialTest, PlannedEvaluateMatchesEagerEvaluate) {
+  const text::Corpus corpus = testsup::SmallCorpus("conll-like", 15, 94);
+  const std::vector<std::string> types = EntityTypesOf(corpus);
+  core::NerModel model(TinyConfig("bilstm", "softmax", 29), corpus, types);
+  model.set_plan_inference(false);
+  const eval::ExactResult eager = model.Evaluate(corpus);
+  model.set_plan_inference(true);
+  const eval::ExactResult planned = model.Evaluate(corpus);
+  EXPECT_EQ(planned.micro.tp, eager.micro.tp);
+  EXPECT_EQ(planned.micro.fp, eager.micro.fp);
+  EXPECT_EQ(planned.micro.fn, eager.micro.fn);
+  EXPECT_EQ(planned.macro_f1, eager.macro_f1);
+}
+
 }  // namespace
 }  // namespace dlner

@@ -147,6 +147,46 @@ TEST_F(InvarianceTest, BatchOrderPermutationOnlyPermutesResults) {
   ExpectSameExact(pipeline_->Evaluate(permuted), reference_eval_);
 }
 
+TEST_F(InvarianceTest, PlannedAndEagerInferenceAgreeExactly) {
+  // The suite's reference outputs were produced by the compiled-plan path
+  // (it is the default); flipping the model to eager per-sentence inference
+  // must reproduce them bit-for-bit.
+  core::NerModel* model = pipeline_->model();
+  ASSERT_TRUE(model->plan_inference());
+  model->set_plan_inference(false);
+  const auto eager_tags = pipeline_->TagCorpus(split_->test);
+  const auto eager_eval = pipeline_->Evaluate(split_->test);
+  model->set_plan_inference(true);
+  EXPECT_EQ(eager_tags, reference_tags_);
+  ExpectSameExact(eager_eval, reference_eval_);
+}
+
+TEST_F(InvarianceTest, PlannedPathIsThreadCountAndOrderInvariant) {
+  // Same contracts as the suite-wide tests, pinned explicitly to the plan
+  // path so they keep holding if the default ever flips to eager.
+  core::NerModel* model = pipeline_->model();
+  model->set_plan_inference(true);
+  for (const int threads : kThreadCounts) {
+    runtime::Runtime::Get().SetThreads(threads);
+    EXPECT_EQ(pipeline_->TagCorpus(split_->test), reference_tags_)
+        << "threads=" << threads;
+  }
+  runtime::Runtime::Get().SetThreads(1);
+  std::vector<int> perm(split_->test.sentences.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(57);
+  rng.Shuffle(&perm);
+  text::Corpus permuted;
+  for (const int i : perm) {
+    permuted.sentences.push_back(split_->test.sentences[i]);
+  }
+  const auto tags = pipeline_->TagCorpus(permuted);
+  ASSERT_EQ(tags.size(), reference_tags_.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(tags[i], reference_tags_[perm[i]]) << "sentence " << i;
+  }
+}
+
 // Satellite (b): two Train runs from identical seeds must agree on every
 // parameter bit and every recorded metric.
 TEST(SeededDeterminismTest, IdenticalSeedsYieldBitIdenticalTraining) {

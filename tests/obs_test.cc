@@ -402,6 +402,32 @@ TEST_F(ObsTest, MetricsRegistryBasicsAndJson) {
   EXPECT_TRUE(m.series("t.series")->points().empty());
 }
 
+TEST_F(ObsTest, WriteJsonCanSkipEmptyHistograms) {
+  Metrics& m = Metrics::Get();
+  m.histogram("t.hist.empty");  // registered but never observed
+  m.histogram("t.hist.filled")->Observe(3.0);
+  m.counter("t.keep")->Add(1);
+
+  MetricsJsonOptions options;
+  options.skip_empty_histograms = true;
+  std::ostringstream skipped;
+  m.WriteJson(skipped, options);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(skipped.str()).Parse(&root)) << skipped.str();
+  const JsonValue* series = root.find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->find("t.hist.empty"), nullptr);
+  EXPECT_NE(series->find("t.hist.filled"), nullptr);
+  EXPECT_NE(series->find("t.keep"), nullptr);
+
+  // Default options still export the all-zero histogram.
+  std::ostringstream full;
+  m.WriteJson(full);
+  JsonValue root2;
+  ASSERT_TRUE(JsonParser(full.str()).Parse(&root2)) << full.str();
+  EXPECT_NE(root2.find("series")->find("t.hist.empty"), nullptr);
+}
+
 TEST_F(ObsTest, DisabledMetricsPathProducesNoTensorAccounting) {
   Metrics& m = Metrics::Get();
   ASSERT_FALSE(MetricsEnabled());
@@ -536,6 +562,40 @@ TEST_F(ObsTest, TracingDoesNotChangeEvaluateOrPredictions) {
   for (const SpanEvent& s : Tracer::Get().Snapshot()) names.push_back(s.name);
   for (const char* expected : {"evaluate", "predict_corpus", "encode/cnn",
                                "decode/crf", "embed"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing span " << expected;
+  }
+}
+
+TEST_F(ObsTest, PlannedInferencePublishesArenaGaugesAndPlanSpans) {
+  const text::Corpus corpus = data::MakeDataset("conll-like", 16, 6);
+  std::vector<std::string> types = {"LOC", "MISC", "ORG", "PER"};
+  core::NerConfig config;
+  config.encoder = "cnn";
+  config.decoder = "softmax";
+  config.seed = 12;
+  core::NerModel model(config, corpus, types);
+  ASSERT_TRUE(model.plan_inference());
+
+  EnableTracing(true);
+  EnableMetrics(true);
+  model.Evaluate(corpus);
+  EnableTracing(false);
+  EnableMetrics(false);
+
+  Metrics& m = Metrics::Get();
+  EXPECT_GT(m.gauge("tensor.arena.bytes_reserved")->value(), 0.0);
+  EXPECT_GT(m.gauge("tensor.arena.high_water")->value(), 0.0);
+  // Peak live bytes can never exceed what the arena reserved.
+  EXPECT_LE(m.gauge("tensor.arena.high_water")->value(),
+            m.gauge("tensor.arena.bytes_reserved")->value());
+  EXPECT_GT(m.counter("plan.batches")->value(), 0);
+  EXPECT_EQ(m.counter("plan.sentences")->value(),
+            static_cast<std::int64_t>(corpus.size()));
+
+  std::vector<std::string> names;
+  for (const SpanEvent& s : Tracer::Get().Snapshot()) names.push_back(s.name);
+  for (const char* expected : {"plan/compile", "plan/batch"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing span " << expected;
   }

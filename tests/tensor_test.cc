@@ -1,6 +1,11 @@
 #include "tensor/tensor.h"
 
+#include <cstring>
+#include <set>
+
 #include <gtest/gtest.h>
+
+#include "tensor/arena.h"
 
 namespace dlner {
 namespace {
@@ -83,6 +88,84 @@ TEST(TensorDeathTest, OutOfRangeAccessAborts) {
 
 TEST(TensorDeathTest, MismatchedDataSizeAborts) {
   EXPECT_DEATH(Tensor({2, 2}, {1.0}), "DLNER_CHECK");
+}
+
+// --- Bump-pointer arena (inference-plan activation buffers) ---------------
+
+TEST(ArenaTest, AllocationsAreDisjointAndWritable) {
+  Arena arena;
+  Float* a = arena.Alloc(16);
+  Float* b = arena.Alloc(16);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b >= a + 16 || a >= b + 16);  // no overlap
+  for (int i = 0; i < 16; ++i) a[i] = 1.0;
+  for (int i = 0; i < 16; ++i) b[i] = 2.0;
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a[i], 1.0);
+}
+
+TEST(ArenaTest, AllocZeroIsZeroFilled) {
+  Arena arena;
+  Float* a = arena.Alloc(32);
+  std::memset(a, 0xff, 32 * sizeof(Float));
+  arena.Reset();
+  Float* z = arena.AllocZero(32);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(z[i], 0.0) << i;
+}
+
+TEST(ArenaTest, ResetReusesBlocksWithoutNewReservation) {
+  Arena arena;
+  arena.Alloc(100);
+  arena.Alloc(200);
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  for (int round = 0; round < 5; ++round) {
+    arena.Reset();
+    arena.Alloc(100);
+    arena.Alloc(200);
+    EXPECT_EQ(arena.bytes_reserved(), reserved) << "round " << round;
+  }
+}
+
+TEST(ArenaTest, OversizedAllocationGetsItsOwnBlock) {
+  Arena arena;
+  const std::size_t big = 4 * Arena::kInitialFloats;
+  Float* p = arena.Alloc(big);
+  ASSERT_NE(p, nullptr);
+  p[0] = 1.0;
+  p[big - 1] = 2.0;
+  EXPECT_GE(arena.bytes_reserved(), big * sizeof(Float));
+}
+
+TEST(ArenaTest, HighWaterTracksPeakLiveBytesAcrossResets) {
+  Arena arena;
+  arena.Alloc(1000);
+  arena.Alloc(500);
+  const std::size_t peak = arena.high_water();
+  EXPECT_GE(peak, 1500 * sizeof(Float));
+  arena.Reset();
+  arena.Alloc(10);  // smaller round must not lower the peak
+  EXPECT_EQ(arena.high_water(), peak);
+  arena.Reset();
+  arena.Alloc(2000);
+  EXPECT_GE(arena.high_water(), 2000 * sizeof(Float));
+}
+
+TEST(ArenaTest, ManySmallAllocationsSpanBlocksSafely) {
+  Arena arena;
+  std::set<Float*> seen;
+  std::vector<Float*> ptrs;
+  // Enough to force several block spills past kInitialFloats.
+  for (int i = 0; i < 200; ++i) {
+    Float* p = arena.Alloc(Arena::kInitialFloats / 3);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate pointer at " << i;
+    p[0] = static_cast<Float>(i);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(ptrs[i][0], static_cast<Float>(i)) << i;
+  }
 }
 
 }  // namespace

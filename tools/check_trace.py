@@ -65,7 +65,7 @@ def check_trace(path, require_spans, errors):
           f"{len(names)} distinct span names")
 
 
-def check_metrics(path, min_series, errors):
+def check_metrics(path, min_series, require_metrics, errors):
     try:
         with open(path, encoding="utf-8") as f:
             root = json.load(f)
@@ -98,6 +98,11 @@ def check_metrics(path, min_series, errors):
             fail(errors, f"{path}: {kind} '{name}' missing numeric 'value'")
     if len(series) < min_series:
         fail(errors, f"{path}: {len(series)} series < required {min_series}")
+    for name in require_metrics:
+        if name not in series:
+            have = sorted(series)[:20]
+            fail(errors, f"{path}: required metric '{name}' not found "
+                         f"(have: {have})")
     print(f"{path}: {len(series)} series")
 
 
@@ -110,6 +115,9 @@ def main():
     parser.add_argument("--metrics", help="dlner-metrics-v1 JSON to validate")
     parser.add_argument("--min-series", type=int, default=1,
                         help="minimum number of metric series (default 1)")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        metavar="NAME",
+                        help="metric name that must appear (repeatable)")
     args = parser.parse_args()
     if not args.trace and not args.metrics:
         parser.error("nothing to check: pass --trace and/or --metrics")
@@ -118,7 +126,8 @@ def main():
     if args.trace:
         check_trace(args.trace, args.require_span, errors)
     if args.metrics:
-        check_metrics(args.metrics, args.min_series, errors)
+        check_metrics(args.metrics, args.min_series, args.require_metric,
+                      errors)
     if errors:
         print(f"{len(errors)} check(s) failed", file=sys.stderr)
         return 1
