@@ -1,0 +1,49 @@
+#include "serve/cache.h"
+
+namespace dlner::serve {
+
+std::string LruCache::Key(const std::string& model, std::uint64_t generation,
+                          const std::vector<std::string>& tokens) {
+  std::string key = model;
+  key.push_back('\x1f');
+  key += std::to_string(generation);
+  for (const std::string& tok : tokens) {
+    key.push_back('\x1f');
+    key += tok;
+  }
+  return key;
+}
+
+bool LruCache::Get(const std::string& key, std::string* value) {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *value = it->second->second;
+  return true;
+}
+
+void LruCache::Put(const std::string& key, std::string value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::size_t LruCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace dlner::serve

@@ -1,0 +1,56 @@
+// LRU response cache for dlner_serve, keyed on (model, generation,
+// sentence).
+//
+// The value stored is the exact "tokens":[...],"spans":[...] payload
+// fragment the server would otherwise recompute (protocol.h TagPayload),
+// so a hit is bit-identical to the uncached response. The registry
+// generation is part of the key: a hot reload bumps the model's generation
+// and every stale entry simply stops matching — no invalidation race with
+// batches already in flight — and falls out through normal LRU eviction.
+#ifndef DLNER_SERVE_CACHE_H_
+#define DLNER_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dlner::serve {
+
+class LruCache {
+ public:
+  /// Capacity 0 disables the cache (Get always misses, Put is a no-op).
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Cache key for a (model, generation, token sequence) triple. Tokens
+  /// are joined with an unlikely-in-text separator so ["ab","c"] and
+  /// ["a","bc"] never collide.
+  static std::string Key(const std::string& model, std::uint64_t generation,
+                         const std::vector<std::string>& tokens);
+
+  /// On hit copies the payload into *value, promotes the entry to
+  /// most-recently-used, and returns true.
+  bool Get(const std::string& key, std::string* value);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry when at capacity.
+  void Put(const std::string& key, std::string value);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  // key -> payload
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace dlner::serve
+
+#endif  // DLNER_SERVE_CACHE_H_

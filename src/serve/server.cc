@@ -1,0 +1,482 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace dlner::serve {
+
+// One client connection. The fd is shared between the reader thread and
+// any queued requests still owed a response; it is shut down (not closed)
+// to unblock reads, and closed only when the last reference drops, so a
+// half-closed client still receives every response it is owed.
+struct Server::Conn {
+  explicit Conn(int fd_in) : fd(fd_in) {}
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  const int fd;
+  std::mutex write_mu;  // serializes response lines
+  std::atomic<bool> dead{false};
+};
+
+Server::Server(ModelRegistry* registry, const ServeConfig& config)
+    : registry_(registry), config_(config), cache_(config.cache_capacity) {}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    obs::ForceLog(obs::LogLevel::kError, "serve_socket_failed",
+                  {{"errno", std::strerror(errno)}});
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    obs::ForceLog(obs::LogLevel::kError, "serve_bad_host",
+                  {{"host", config_.host}});
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    obs::ForceLog(obs::LogLevel::kError, "serve_bind_failed",
+                  {{"host", config_.host},
+                   {"port", config_.port},
+                   {"errno", std::strerror(errno)}});
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  started_.store(true);
+  listener_ = std::thread([this] { AcceptLoop(); });
+  batcher_ = std::thread([this] { BatchLoop(); });
+  obs::Log(obs::LogLevel::kInfo, "serve_started",
+           {{"host", config_.host}, {"port", port_}});
+  return true;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listen socket gone
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>(fd);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load()) {
+      ::shutdown(fd, SHUT_RDWR);
+      return;
+    }
+    conns_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] { ConnLoop(conn); });
+  }
+}
+
+void Server::ConnLoop(std::shared_ptr<Conn> conn) {
+  obs::ScopedSpan span("serve/conn");
+  std::string buf;
+  char chunk[4096];
+  bool discarding = false;  // inside an oversized line, drop to next newline
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF or error: pending responses still drain
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (discarding) {
+      const std::size_t pos = buf.find('\n');
+      if (pos == std::string::npos) {
+        buf.clear();
+        continue;
+      }
+      buf.erase(0, pos + 1);
+      discarding = false;
+    }
+    std::size_t pos;
+    while ((pos = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, pos);
+      buf.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (line.size() > config_.max_line_bytes) {
+        errors_.fetch_add(1);
+        WriteLine(conn, ErrorResponse(false, 0, kTooLarge,
+                                      "request line too long"));
+        continue;
+      }
+      HandleLine(conn, line);
+    }
+    if (buf.size() > config_.max_line_bytes) {
+      errors_.fetch_add(1);
+      WriteLine(conn,
+                ErrorResponse(false, 0, kTooLarge, "request line too long"));
+      buf.clear();
+      discarding = true;
+    }
+  }
+}
+
+void Server::HandleLine(const std::shared_ptr<Conn>& conn,
+                        const std::string& line) {
+  obs::ScopedSpan span("serve/request");
+  requests_.fetch_add(1);
+  const std::uint64_t arrival_us = obs::NowMicros();
+
+  Request req;
+  std::string error;
+  int code = 0;
+  if (!ParseRequest(line, &req, &error, &code)) {
+    errors_.fetch_add(1);
+    WriteLine(conn, ErrorResponse(req.has_id, req.id, code, error));
+    return;
+  }
+  if (req.kind == Request::Kind::kAdmin) {
+    HandleAdmin(conn, req, arrival_us);
+    return;
+  }
+
+  const ModelRegistry::Entry entry = registry_->Get(req.model);
+  if (entry.pipeline == nullptr) {
+    errors_.fetch_add(1);
+    WriteLine(conn, ErrorResponse(req.has_id, req.id, kUnknownModel,
+                                  "unknown model \"" + req.model + "\""));
+    return;
+  }
+  if (static_cast<int>(req.tokens.size()) > config_.max_tokens) {
+    errors_.fetch_add(1);
+    WriteLine(conn, ErrorResponse(req.has_id, req.id, kTooLarge,
+                                  "too many tokens (max " +
+                                      std::to_string(config_.max_tokens) +
+                                      ")"));
+    return;
+  }
+  if (req.tokens.empty()) {
+    // Nothing to tag; answer inline (the plan requires non-empty
+    // sentences, and the eager path short-circuits identically).
+    responses_.fetch_add(1);
+    WriteLine(conn, TagResponse(req, false, TagPayload({}, {})));
+    return;
+  }
+
+  const std::string key =
+      LruCache::Key(req.model, entry.generation, req.tokens);
+  std::string payload;
+  if (cache_.Get(key, &payload)) {
+    cache_hits_.fetch_add(1);
+    responses_.fetch_add(1);
+    if (obs::MetricsEnabled()) {
+      obs::Metrics::Get()
+          .histogram("serve.request.latency_us")
+          ->Observe(static_cast<double>(obs::NowMicros() - arrival_us));
+    }
+    WriteLine(conn, TagResponse(req, true, payload));
+    return;
+  }
+  cache_misses_.fetch_add(1);
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_.load()) {
+      rejected_.fetch_add(1);
+      WriteLine(conn, ErrorResponse(req.has_id, req.id, kShuttingDown,
+                                    "server is shutting down"));
+      return;
+    }
+    if (static_cast<int>(queue_.size()) >= config_.queue_capacity) {
+      rejected_.fetch_add(1);
+      WriteLine(conn, ErrorResponse(req.has_id, req.id, kQueueFull,
+                                    "admission queue full"));
+      return;
+    }
+    queue_.push_back(Pending{conn, std::move(req), arrival_us});
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    std::int64_t peak = queue_peak_.load();
+    while (depth > peak && !queue_peak_.compare_exchange_weak(peak, depth)) {
+    }
+    if (obs::MetricsEnabled()) {
+      obs::Metrics::Get()
+          .gauge("serve.queue.depth")
+          ->Set(static_cast<double>(depth));
+    }
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::HandleAdmin(const std::shared_ptr<Conn>& conn, const Request& req,
+                         std::uint64_t arrival_us) {
+  (void)arrival_us;
+  const std::string id_prefix =
+      req.has_id ? "\"id\":" + std::to_string(req.id) + "," : "";
+  if (req.cmd == "reload") {
+    if (!registry_->Load(req.model, req.path)) {
+      errors_.fetch_add(1);
+      WriteLine(conn, ErrorResponse(req.has_id, req.id, kInternal,
+                                    "cannot load checkpoint \"" + req.path +
+                                        "\""));
+      return;
+    }
+    reloads_.fetch_add(1);
+    const ModelRegistry::Entry entry = registry_->Get(req.model);
+    obs::Log(obs::LogLevel::kInfo, "serve_reloaded",
+             {{"model", req.model},
+              {"generation", static_cast<std::int64_t>(entry.generation)}});
+    WriteLine(conn, "{" + id_prefix + "\"ok\":true,\"model\":" +
+                        JsonQuote(req.model) + ",\"generation\":" +
+                        std::to_string(entry.generation) + "}");
+    return;
+  }
+  if (req.cmd == "models") {
+    std::string out = "{" + id_prefix + "\"models\":[";
+    bool first = true;
+    for (const std::string& name : registry_->Names()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += JsonQuote(name);
+    }
+    out += "]}";
+    WriteLine(conn, out);
+    return;
+  }
+  if (req.cmd == "stats") {
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      depth = queue_.size();
+    }
+    WriteLine(conn,
+              "{" + id_prefix + "\"requests\":" +
+                  std::to_string(requests_.load()) + ",\"responses\":" +
+                  std::to_string(responses_.load()) + ",\"rejected\":" +
+                  std::to_string(rejected_.load()) + ",\"errors\":" +
+                  std::to_string(errors_.load()) + ",\"cache_hits\":" +
+                  std::to_string(cache_hits_.load()) + ",\"cache_misses\":" +
+                  std::to_string(cache_misses_.load()) + ",\"batches\":" +
+                  std::to_string(batches_.load()) + ",\"queue_depth\":" +
+                  std::to_string(depth) + "}");
+    return;
+  }
+  // shutdown: acknowledge, then wake Wait() so the owning thread can run
+  // the graceful Stop() (a connection thread must not join itself).
+  WriteLine(conn, "{" + id_prefix + "\"ok\":true}");
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Server::BatchLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    bool deadline_flush = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_.load() || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_.load()) return;
+        continue;
+      }
+      const std::string model = queue_.front().request.model;
+      const std::uint64_t deadline =
+          queue_.front().arrival_us +
+          static_cast<std::uint64_t>(config_.batch_delay_us);
+      auto same_model_count = [&] {
+        int count = 0;
+        for (const Pending& p : queue_) {
+          if (p.request.model == model) ++count;
+        }
+        return count;
+      };
+      while (!stopping_.load() && same_model_count() < config_.batch_max) {
+        const std::uint64_t now = obs::NowMicros();
+        if (now >= deadline) break;
+        queue_cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+      }
+      deadline_flush = same_model_count() < config_.batch_max;
+      for (auto it = queue_.begin();
+           it != queue_.end() &&
+           static_cast<int>(batch.size()) < config_.batch_max;) {
+        if (it->request.model == model) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (obs::MetricsEnabled()) {
+        obs::Metrics::Get()
+            .gauge("serve.queue.depth")
+            ->Set(static_cast<double>(queue_.size()));
+      }
+    }
+    (deadline_flush ? deadline_flushes_ : size_flushes_).fetch_add(1);
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void Server::ExecuteBatch(std::vector<Pending> batch) {
+  obs::ScopedSpan span("serve/batch");
+  batches_.fetch_add(1);
+  if (obs::MetricsEnabled()) {
+    obs::Metrics::Get()
+        .histogram("serve.batch.size")
+        ->Observe(static_cast<double>(batch.size()));
+  }
+
+  const std::string& model = batch.front().request.model;
+  // Resolve the pipeline at execution time: requests queued before a hot
+  // reload are served by the new model, and the shared_ptr keeps whichever
+  // pipeline we picked alive for the whole batch.
+  const ModelRegistry::Entry entry = registry_->Get(model);
+  if (entry.pipeline == nullptr) {
+    for (const Pending& p : batch) {
+      errors_.fetch_add(1);
+      Respond(p, ErrorResponse(p.request.has_id, p.request.id, kUnknownModel,
+                               "unknown model \"" + model + "\""));
+    }
+    return;
+  }
+
+  text::Corpus corpus;
+  corpus.sentences.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    corpus.sentences[i].tokens = batch[i].request.tokens;
+  }
+  // The compiled-plan corpus path (packed ragged micro-batches, arena
+  // buffers) — the same code `dlner tag --in` runs, so served responses
+  // are bit-identical to the batch CLI.
+  const std::vector<std::vector<text::Span>> spans =
+      entry.pipeline->TagCorpus(corpus);
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Pending& p = batch[i];
+    const std::string payload = TagPayload(p.request.tokens, spans[i]);
+    cache_.Put(LruCache::Key(model, entry.generation, p.request.tokens),
+               payload);
+    responses_.fetch_add(1);
+    Respond(p, TagResponse(p.request, false, payload));
+  }
+}
+
+void Server::Respond(const Pending& pending, const std::string& line) {
+  if (obs::MetricsEnabled()) {
+    obs::Metrics::Get()
+        .histogram("serve.request.latency_us")
+        ->Observe(static_cast<double>(obs::NowMicros() - pending.arrival_us));
+  }
+  WriteLine(pending.conn, line);
+}
+
+void Server::WriteLine(const std::shared_ptr<Conn>& conn,
+                       const std::string& line) {
+  if (conn->dead.load()) return;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    // MSG_NOSIGNAL: a half-closed or gone client must surface as an error
+    // return, not a process-killing SIGPIPE.
+    const ssize_t n = ::send(conn->fd, framed.data() + off, framed.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      conn->dead.store(true);
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::Wait(const std::atomic<bool>* interrupted) {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  for (;;) {
+    if (shutdown_requested_ || stopping_.load()) return;
+    if (interrupted != nullptr && interrupted->load()) return;
+    shutdown_cv_.wait_for(lock, std::chrono::milliseconds(200));
+  }
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (!started_.load()) return;
+  // 1. Refuse new connections and wake the listener out of accept(); the
+  //    fd is closed only after the join so its number cannot be reused
+  //    under a racing accept().
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (listener_.joinable()) listener_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // 2. Drain the batcher: stopping_ is set, so readers now reject new
+  //    requests with 503 while everything already admitted is answered.
+  queue_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  // 3. Unblock and join the connection readers.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const std::weak_ptr<Conn>& weak : conns_) {
+      if (const std::shared_ptr<Conn> conn = weak.lock()) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+  obs::Log(obs::LogLevel::kInfo, "serve_stopped",
+           {{"responses", responses_.load()}});
+}
+
+void Server::PublishMetrics() const {
+  obs::Metrics& m = obs::Metrics::Get();
+  auto set = [&m](const char* name, std::int64_t v) {
+    m.gauge(name)->Set(static_cast<double>(v));
+  };
+  set("serve.requests_total", requests_.load());
+  set("serve.responses_total", responses_.load());
+  set("serve.rejected_total", rejected_.load());
+  set("serve.errors_total", errors_.load());
+  set("serve.cache.hits", cache_hits_.load());
+  set("serve.cache.misses", cache_misses_.load());
+  set("serve.cache.size", static_cast<std::int64_t>(cache_.size()));
+  set("serve.batches_total", batches_.load());
+  set("serve.batch.deadline_flushes", deadline_flushes_.load());
+  set("serve.batch.size_flushes", size_flushes_.load());
+  set("serve.queue.peak_depth", queue_peak_.load());
+  set("serve.reloads_total", reloads_.load());
+}
+
+}  // namespace dlner::serve

@@ -1,0 +1,179 @@
+// Long-lived tagging server: newline-delimited JSON over TCP with dynamic
+// micro-batching (ROADMAP item 1; the survey frames NER as the front-line
+// component of production NLP systems serving live traffic).
+//
+// Architecture:
+//
+//   accept loop ──> one reader thread per connection
+//                     │  parse line (serve/protocol.h)
+//                     │  cache hit?  ──────────────> respond immediately
+//                     │  admin cmd?  ──────────────> handle inline
+//                     ▼
+//              bounded admission queue   (full -> 429 error response)
+//                     │
+//                     ▼
+//               batcher thread: flush by deadline-or-size
+//                     │  groups queued requests by model, up to batch_max
+//                     │  or when the oldest has waited batch_delay_us
+//                     ▼
+//            Pipeline::TagCorpus  (compiled plan: packed ragged
+//            micro-batches over arena-backed buffers, src/plan/)
+//                     │
+//                     ▼
+//              per-request responses (+ LRU cache fill)
+//
+// Responses are byte-identical to `dlner tag` on the same model and input:
+// the batcher routes through exactly the PredictCorpus path the CLI uses.
+// Backpressure is explicit — a full admission queue rejects with a
+// 429-coded error response instead of queueing unboundedly; a draining
+// server rejects with 503. Hot reload (admin "reload", or
+// ModelRegistry::Load from the embedding process) swaps the model without
+// dropping in-flight requests (serve/registry.h).
+//
+// Observability: spans serve/request, serve/batch, serve/reload; always-on
+// internal counters surfaced by PublishMetrics() as serve.* metrics plus —
+// while obs::MetricsEnabled() — serve.request.latency_us and
+// serve.batch.size histograms and serve.queue.depth gauges. See
+// docs/SERVING.md.
+#ifndef DLNER_SERVE_SERVER_H_
+#define DLNER_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+
+namespace dlner::serve {
+
+struct ServeConfig {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (see
+  /// Server::port()).
+  int port = 0;
+  /// Admission-queue bound; a full queue rejects with a 429 error response.
+  int queue_capacity = 256;
+  /// Flush a micro-batch at this many queued requests for one model...
+  int batch_max = 16;
+  /// ...or once the oldest queued request has waited this long.
+  std::int64_t batch_delay_us = 2000;
+  /// LRU response-cache entries; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+  /// Request lines longer than this are rejected with a 413 error response
+  /// (the rest of the oversized line is discarded; the connection
+  /// survives).
+  std::size_t max_line_bytes = 1 << 20;
+  /// Requests with more tokens than this are rejected with 413.
+  int max_tokens = 512;
+};
+
+class Server {
+ public:
+  /// The registry is borrowed and must outlive the server. Models may be
+  /// loaded into it before Start() and hot-reloaded at any time after.
+  Server(ModelRegistry* registry, const ServeConfig& config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and launches the accept + batcher threads. Returns
+  /// false (with the reason logged) when the socket cannot be bound.
+  bool Start();
+
+  /// The bound port (useful with ServeConfig::port == 0).
+  int port() const { return port_; }
+
+  /// Blocks until Stop() is called or a client sends {"cmd":"shutdown"}.
+  /// `interrupted`, when non-null, is polled so a signal handler can end
+  /// the wait.
+  void Wait(const std::atomic<bool>* interrupted = nullptr);
+
+  /// Graceful stop: refuses new work (503), drains the admission queue so
+  /// every accepted request is answered, then joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// Copies the server's internal counters into the obs metrics registry
+  /// (serve.requests_total, serve.responses_total, serve.rejected_total,
+  /// serve.errors_total, serve.cache.hits, serve.cache.misses,
+  /// serve.batches_total, serve.queue.peak_depth, ...). Call before
+  /// exporting metrics, like runtime::Runtime::PublishMetrics().
+  void PublishMetrics() const;
+
+  // Always-on lifetime counters (also the payload of the "stats" admin
+  // command, so they work without --metrics-out).
+  std::int64_t requests_total() const { return requests_.load(); }
+  std::int64_t responses_total() const { return responses_.load(); }
+  std::int64_t rejected_total() const { return rejected_.load(); }
+  std::int64_t errors_total() const { return errors_.load(); }
+  std::int64_t cache_hits() const { return cache_hits_.load(); }
+  std::int64_t cache_misses() const { return cache_misses_.load(); }
+  std::int64_t batches_total() const { return batches_.load(); }
+
+ private:
+  struct Conn;
+
+  struct Pending {
+    std::shared_ptr<Conn> conn;
+    Request request;
+    std::uint64_t arrival_us = 0;
+  };
+
+  void AcceptLoop();
+  void ConnLoop(std::shared_ptr<Conn> conn);
+  void HandleLine(const std::shared_ptr<Conn>& conn, const std::string& line);
+  void HandleAdmin(const std::shared_ptr<Conn>& conn, const Request& req,
+                   std::uint64_t arrival_us);
+  void BatchLoop();
+  void ExecuteBatch(std::vector<Pending> batch);
+  void Respond(const Pending& pending, const std::string& line);
+  void WriteLine(const std::shared_ptr<Conn>& conn, const std::string& line);
+
+  ModelRegistry* const registry_;
+  const ServeConfig config_;
+  LruCache cache_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread listener_;
+  std::thread batcher_;
+  std::mutex conn_mu_;  // guards conns_ and conn_threads_
+  std::vector<std::weak_ptr<Conn>> conns_;
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> responses_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> errors_{0};
+  std::atomic<std::int64_t> cache_hits_{0};
+  std::atomic<std::int64_t> cache_misses_{0};
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> deadline_flushes_{0};
+  std::atomic<std::int64_t> size_flushes_{0};
+  std::atomic<std::int64_t> queue_peak_{0};
+  std::atomic<std::int64_t> reloads_{0};
+};
+
+}  // namespace dlner::serve
+
+#endif  // DLNER_SERVE_SERVER_H_

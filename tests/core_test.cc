@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/flags.h"
 #include "core/pipeline.h"
 #include "data/dataset.h"
 
@@ -247,6 +248,128 @@ TEST(PipelineTest, LoadRejectsGarbage) {
   }
   EXPECT_EQ(Pipeline::Load(path), nullptr);
   EXPECT_EQ(Pipeline::Load("/nonexistent/file.bin"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Checked flag parsing (core/flags.h). The old tool parser turned garbage
+// into 0 via atoi/atof, truncated uint64 seeds through int, and silently
+// accepted unknown flags; these tests pin the strict behavior.
+
+TEST(FlagsTest, ParseIntAcceptsOnlyWholeIntegers) {
+  int v = -1;
+  EXPECT_TRUE(ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt("-7", &v));
+  EXPECT_EQ(v, -7);
+  for (const char* bad : {"", "abc", "12x", "x12", "1.5", "1 ", " 1",
+                          "2147483648", "-2147483649", "0x10"}) {
+    v = 1234;
+    EXPECT_FALSE(ParseInt(bad, &v)) << bad;
+    EXPECT_EQ(v, 1234) << bad << " modified *out";
+  }
+}
+
+TEST(FlagsTest, ParseUInt64HoldsFullRangeAndRejectsSigns) {
+  std::uint64_t v = 0;
+  // The original --seed path went through int and truncated this.
+  EXPECT_TRUE(ParseUInt64("18446744073709551615", &v));
+  EXPECT_EQ(v, 18446744073709551615ULL);
+  EXPECT_TRUE(ParseUInt64("9223372036854775808", &v));  // > INT64_MAX
+  EXPECT_EQ(v, 9223372036854775808ULL);
+  for (const char* bad :
+       {"", "-1", "+1", "18446744073709551616", "seed", "1e3"}) {
+    EXPECT_FALSE(ParseUInt64(bad, &v)) << bad;
+  }
+}
+
+TEST(FlagsTest, ParseDoubleRejectsGarbageOverflowAndNan) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("0.015", &v));
+  EXPECT_DOUBLE_EQ(v, 0.015);
+  EXPECT_TRUE(ParseDouble("-2e-3", &v));
+  EXPECT_DOUBLE_EQ(v, -2e-3);
+  for (const char* bad : {"", "abc", "0.5x", "1e999", "nan", "0,5"}) {
+    EXPECT_FALSE(ParseDouble(bad, &v)) << bad;
+  }
+}
+
+TEST(FlagsTest, ParseRejectsUnknownFlagsAndMissingValues) {
+  const FlagSpec spec{{"threads", FlagKind::kValue},
+                      {"verbose", FlagKind::kBool},
+                      {"gazetteer", FlagKind::kOptionalValue}};
+  {
+    // The typo the old parser silently ignored.
+    const char* argv[] = {"dlner", "--thread", "4"};
+    Args args;
+    EXPECT_FALSE(args.Parse(3, const_cast<char* const*>(argv), 1, spec));
+    EXPECT_NE(args.error().find("--thread"), std::string::npos);
+  }
+  {
+    // The old parser stored the sentinel "true" here and atoi'd it to 0.
+    const char* argv[] = {"dlner", "--threads", "--verbose"};
+    Args args;
+    EXPECT_FALSE(args.Parse(3, const_cast<char* const*>(argv), 1, spec));
+    EXPECT_NE(args.error().find("requires a value"), std::string::npos);
+  }
+  {
+    const char* argv[] = {"dlner", "stray", "--verbose"};
+    Args args;
+    EXPECT_FALSE(args.Parse(3, const_cast<char* const*>(argv), 1, spec));
+    EXPECT_NE(args.error().find("stray"), std::string::npos);
+  }
+}
+
+TEST(FlagsTest, ParseHandlesKindsAndTypedGetters) {
+  const FlagSpec spec{{"threads", FlagKind::kValue},
+                      {"seed", FlagKind::kValue},
+                      {"lr", FlagKind::kValue},
+                      {"verbose", FlagKind::kBool},
+                      {"gazetteer", FlagKind::kOptionalValue}};
+  const char* argv[] = {"dlner",      "--threads", "4",    "--verbose",
+                        "--gazetteer", "--seed",   "9223372036854775809",
+                        "--lr",       "0.02"};
+  Args args;
+  ASSERT_TRUE(args.Parse(9, const_cast<char* const*>(argv), 1, spec))
+      << args.error();
+  EXPECT_EQ(args.GetInt("threads", -1), 4);
+  EXPECT_TRUE(args.Has("verbose"));
+  // Bare optional flag stores the sentinel, not the following flag's name.
+  EXPECT_EQ(args.Get("gazetteer"), "true");
+  // Seeds above INT_MAX survive intact (the old GetInt path truncated).
+  EXPECT_EQ(args.GetUInt64("seed", 0), 9223372036854775809ULL);
+  EXPECT_DOUBLE_EQ(args.GetDouble("lr", 0.0), 0.02);
+  // Absent flags fall back to defaults.
+  EXPECT_EQ(args.GetInt("missing", 7), 7);
+  EXPECT_EQ(args.GetUInt64("missing", 7), 7u);
+  EXPECT_DOUBLE_EQ(args.GetDouble("missing", 0.5), 0.5);
+}
+
+TEST(FlagsTest, OptionalValueConsumesNonFlagToken) {
+  const FlagSpec spec{{"gazetteer", FlagKind::kOptionalValue}};
+  const char* argv[] = {"dlner", "--gazetteer", "0.7"};
+  Args args;
+  ASSERT_TRUE(args.Parse(3, const_cast<char* const*>(argv), 1, spec));
+  EXPECT_DOUBLE_EQ(args.GetDouble("gazetteer", 1.0), 0.7);
+}
+
+TEST(FlagsTest, RepeatedFlagKeepsLastValue) {
+  const FlagSpec spec{{"epochs", FlagKind::kValue}};
+  const char* argv[] = {"dlner", "--epochs", "3", "--epochs", "9"};
+  Args args;
+  ASSERT_TRUE(args.Parse(5, const_cast<char* const*>(argv), 1, spec));
+  EXPECT_EQ(args.GetInt("epochs", 0), 9);
+}
+
+// GetInt on a malformed stored value exits 1 with the flag named — the
+// "garbage becomes 0" bug this subsystem replaces.
+TEST(FlagsDeathTest, TypedGetterExitsOnMalformedValue) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const FlagSpec spec{{"epochs", FlagKind::kValue}};
+  const char* argv[] = {"dlner", "--epochs", "12x"};
+  Args args;
+  ASSERT_TRUE(args.Parse(3, const_cast<char* const*>(argv), 1, spec));
+  EXPECT_EXIT(args.GetInt("epochs", 0), ::testing::ExitedWithCode(1),
+              "--epochs");
 }
 
 }  // namespace

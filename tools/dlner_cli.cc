@@ -13,101 +13,29 @@
 //   dlner tag      --model model.bin --text "John Smith visited Paris ."
 //   dlner tag      --model model.bin --in raw.conll --out tagged.conll
 //   dlner eval     --model model.bin --test test.conll [--relaxed]
+//
+// Flag parsing is strict (core/flags.h): each subcommand declares the
+// flags it accepts, unknown flags and malformed numeric values exit 1
+// instead of silently becoming defaults, and seeds are full uint64.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <set>
 #include <string>
 
+#include "core/flags.h"
 #include "core/pipeline.h"
 #include "data/dataset.h"
 #include "embeddings/lm.h"
-#include "obs/metrics.h"
-#include "obs/obs.h"
-#include "obs/trace.h"
-#include "runtime/runtime.h"
 #include "text/conll.h"
+#include "tools/tool_common.h"
 
 namespace {
 
 using namespace dlner;
-
-// Minimal flag parser: --key value and boolean --key.
-class Args {
- public:
-  Args(int argc, char** argv, int start) {
-    for (int i = start; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) continue;
-      key = key.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        values_[key] = argv[++i];
-      } else {
-        values_[key] = "true";
-      }
-    }
-  }
-  std::string Get(const std::string& key, const std::string& dflt = "") const {
-    auto it = values_.find(key);
-    return it == values_.end() ? dflt : it->second;
-  }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-  int GetInt(const std::string& key, int dflt) const {
-    return Has(key) ? std::atoi(Get(key).c_str()) : dflt;
-  }
-  double GetDouble(const std::string& key, double dflt) const {
-    return Has(key) ? std::atof(Get(key).c_str()) : dflt;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
-
-// Applies --threads to the process-wide runtime (0 = hardware concurrency).
-// Without the flag the runtime keeps its DLNER_THREADS / hardware default.
-void ApplyThreadsFlag(const Args& args) {
-  if (args.Has("threads")) {
-    runtime::Runtime::Get().SetThreads(args.GetInt("threads", 0));
-  }
-}
-
-// Observability flags shared by every subcommand: --log-level LEVEL sets
-// the structured-logger threshold, --trace-out FILE turns span tracing on,
-// --metrics-out FILE turns metric collection on. Collection starts before
-// the command runs; artifacts are written by FlushObsArtifacts afterwards.
-void ApplyObsFlags(const Args& args) {
-  if (args.Has("log-level")) {
-    obs::SetLogLevel(obs::LogLevelFromString(args.Get("log-level")));
-  }
-  if (args.Has("trace-out")) obs::EnableTracing(true);
-  if (args.Has("metrics-out")) obs::EnableMetrics(true);
-}
-
-// Writes the trace / metrics files requested on the command line. Returns
-// false (and logs) when a file cannot be written, so the process exits
-// non-zero instead of silently dropping the artifact.
-bool FlushObsArtifacts(const Args& args) {
-  bool ok = true;
-  if (args.Has("metrics-out")) {
-    // Fold the thread-pool counters into the registry before the snapshot.
-    runtime::Runtime::Get().PublishMetrics();
-    const std::string path = args.Get("metrics-out");
-    if (!obs::Metrics::Get().WriteJson(path)) {
-      obs::ForceLog(obs::LogLevel::kError, "metrics_write_failed",
-                    {{"path", path}});
-      ok = false;
-    }
-  }
-  if (args.Has("trace-out")) {
-    const std::string path = args.Get("trace-out");
-    if (!obs::Tracer::Get().WriteChromeTrace(path)) {
-      obs::ForceLog(obs::LogLevel::kError, "trace_write_failed",
-                    {{"path", path}});
-      ok = false;
-    }
-  }
-  return ok;
-}
+using core::Args;
+using core::FlagKind;
+using core::FlagSpec;
 
 std::vector<std::string> EntityTypesOf(const text::Corpus& corpus) {
   std::set<std::string> types;
@@ -117,10 +45,63 @@ std::vector<std::string> EntityTypesOf(const text::Corpus& corpus) {
   return {types.begin(), types.end()};
 }
 
+FlagSpec GenerateSpec() {
+  FlagSpec spec{{"dataset", FlagKind::kValue}, {"n", FlagKind::kValue},
+                {"seed", FlagKind::kValue},    {"out", FlagKind::kValue},
+                {"scheme", FlagKind::kValue}};
+  tools::AddObsFlags(&spec);
+  return spec;
+}
+
+FlagSpec TrainSpec() {
+  FlagSpec spec{{"train", FlagKind::kValue},
+                {"model", FlagKind::kValue},
+                {"dev", FlagKind::kValue},
+                {"encoder", FlagKind::kValue},
+                {"decoder", FlagKind::kValue},
+                {"scheme", FlagKind::kValue},
+                {"char-cnn", FlagKind::kBool},
+                {"char-rnn", FlagKind::kBool},
+                {"shape", FlagKind::kBool},
+                {"gazetteer", FlagKind::kOptionalValue},
+                {"char-lm", FlagKind::kBool},
+                {"token-lm", FlagKind::kBool},
+                {"word-dim", FlagKind::kValue},
+                {"hidden-dim", FlagKind::kValue},
+                {"word-dropout", FlagKind::kValue},
+                {"epochs", FlagKind::kValue},
+                {"lr", FlagKind::kValue},
+                {"patience", FlagKind::kValue},
+                {"seed", FlagKind::kValue},
+                {"threads", FlagKind::kValue},
+                {"verbose", FlagKind::kBool}};
+  tools::AddObsFlags(&spec);
+  return spec;
+}
+
+FlagSpec TagSpec() {
+  FlagSpec spec{{"model", FlagKind::kValue},
+                {"text", FlagKind::kValue},
+                {"in", FlagKind::kValue},
+                {"out", FlagKind::kValue},
+                {"threads", FlagKind::kValue}};
+  tools::AddObsFlags(&spec);
+  return spec;
+}
+
+FlagSpec EvalSpec() {
+  FlagSpec spec{{"model", FlagKind::kValue},
+                {"test", FlagKind::kValue},
+                {"relaxed", FlagKind::kBool},
+                {"threads", FlagKind::kValue}};
+  tools::AddObsFlags(&spec);
+  return spec;
+}
+
 int CmdGenerate(const Args& args) {
   const std::string name = args.Get("dataset", "conll-like");
   const int n = args.GetInt("n", 400);
-  const uint64_t seed = args.GetInt("seed", 1);
+  const uint64_t seed = args.GetUInt64("seed", 1);
   const std::string out = args.Get("out");
   if (out.empty()) {
     std::fprintf(stderr, "generate: --out is required\n");
@@ -186,7 +167,7 @@ int CmdTrain(const Args& args) {
   config.word_dim = args.GetInt("word-dim", 24);
   config.hidden_dim = args.GetInt("hidden-dim", 24);
   config.word_unk_dropout = args.GetDouble("word-dropout", 0.2);
-  config.seed = args.GetInt("seed", 42);
+  config.seed = args.GetUInt64("seed", 42);
   config.threads = args.GetInt("threads", -1);
   // Mirror the process-wide obs flags into the config so models built from
   // this config behave the same when constructed elsewhere. Runtime-only:
@@ -218,9 +199,14 @@ int CmdTrain(const Args& args) {
   }
   if (config.use_gazetteer) {
     // "--gazetteer 0.7" keeps each distinct mention with probability 0.7;
-    // the bare flag keeps them all.
+    // the bare flag (stored as the sentinel "true") keeps them all.
     const std::string cov = args.Get("gazetteer", "true");
-    const double coverage = cov == "true" ? 1.0 : std::atof(cov.c_str());
+    double coverage = 1.0;
+    if (cov != "true" && !core::ParseDouble(cov, &coverage)) {
+      std::fprintf(stderr, "train: --gazetteer: invalid coverage \"%s\"\n",
+                   cov.c_str());
+      return 1;
+    }
     gaz = data::Gazetteer::FromCorpus(train, coverage, config.seed);
     res.gazetteer = &gaz;
     std::printf("gazetteer: %d entries, %zu types\n", gaz.size(),
@@ -260,7 +246,7 @@ int CmdTrain(const Args& args) {
 }
 
 int CmdTag(const Args& args) {
-  ApplyThreadsFlag(args);
+  tools::ApplyThreadsFlag(args);
   auto pipeline = core::Pipeline::Load(args.Get("model"));
   if (pipeline == nullptr) {
     std::fprintf(stderr, "tag: cannot load model %s\n",
@@ -303,7 +289,7 @@ int CmdTag(const Args& args) {
 }
 
 int CmdEval(const Args& args) {
-  ApplyThreadsFlag(args);
+  tools::ApplyThreadsFlag(args);
   auto pipeline = core::Pipeline::Load(args.Get("model"));
   if (pipeline == nullptr) {
     std::fprintf(stderr, "eval: cannot load model %s\n",
@@ -360,7 +346,8 @@ void Usage() {
       "datasets: conll-like ontonotes-like wnut-like fine-grained-like\n"
       "          nested-like bio-like\n"
       "encoders: mlp cnn idcnn bilstm bigru transformer brnn\n"
-      "decoders: softmax crf semicrf rnn pointer fofe\n");
+      "decoders: softmax crf semicrf rnn pointer fofe\n"
+      "serving: see dlner_serve (docs/SERVING.md)\n");
 }
 
 }  // namespace
@@ -371,8 +358,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
-  Args args(argc, argv, 2);
-  ApplyObsFlags(args);
+  FlagSpec spec;
+  if (cmd == "generate") spec = GenerateSpec();
+  else if (cmd == "train") spec = TrainSpec();
+  else if (cmd == "tag") spec = TagSpec();
+  else if (cmd == "eval") spec = EvalSpec();
+  else {
+    Usage();
+    return 1;
+  }
+  Args args;
+  if (!args.Parse(argc, argv, 2, spec)) {
+    std::fprintf(stderr, "dlner %s: %s\n", cmd.c_str(), args.error().c_str());
+    return 1;
+  }
+  tools::ApplyObsFlags(args);
   int rc = -1;
   if (cmd == "generate") rc = CmdGenerate(args);
   if (cmd == "train") rc = CmdTrain(args);
@@ -382,6 +382,6 @@ int main(int argc, char** argv) {
     Usage();
     return 1;
   }
-  if (!FlushObsArtifacts(args)) rc = rc == 0 ? 1 : rc;
+  if (!tools::FlushObsArtifacts(args)) rc = rc == 0 ? 1 : rc;
   return rc;
 }

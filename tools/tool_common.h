@@ -1,0 +1,74 @@
+// Flag plumbing shared by the dlner and dlner_serve front ends: the
+// observability flags every subcommand accepts, the --threads runtime
+// knob, and the end-of-run artifact flush.
+#ifndef DLNER_TOOLS_TOOL_COMMON_H_
+#define DLNER_TOOLS_TOOL_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/flags.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "runtime/runtime.h"
+
+namespace dlner::tools {
+
+/// Adds the observability flags (--log-level, --trace-out, --metrics-out)
+/// to a subcommand's spec.
+inline void AddObsFlags(core::FlagSpec* spec) {
+  (*spec)["log-level"] = core::FlagKind::kValue;
+  (*spec)["trace-out"] = core::FlagKind::kValue;
+  (*spec)["metrics-out"] = core::FlagKind::kValue;
+}
+
+/// Applies --log-level / --trace-out / --metrics-out to the process-wide
+/// observability state. Collection starts before the command runs;
+/// artifacts are written by FlushObsArtifacts afterwards.
+inline void ApplyObsFlags(const core::Args& args) {
+  if (args.Has("log-level")) {
+    obs::SetLogLevel(obs::LogLevelFromString(args.Get("log-level")));
+  }
+  if (args.Has("trace-out")) obs::EnableTracing(true);
+  if (args.Has("metrics-out")) obs::EnableMetrics(true);
+}
+
+/// Applies --threads to the process-wide runtime (0 = hardware
+/// concurrency). Without the flag the runtime keeps its DLNER_THREADS /
+/// hardware default.
+inline void ApplyThreadsFlag(const core::Args& args) {
+  if (args.Has("threads")) {
+    runtime::Runtime::Get().SetThreads(args.GetInt("threads", 0));
+  }
+}
+
+/// Writes the trace / metrics files requested on the command line. Returns
+/// false (and logs) when a file cannot be written, so the process exits
+/// non-zero instead of silently dropping the artifact.
+inline bool FlushObsArtifacts(const core::Args& args) {
+  bool ok = true;
+  if (args.Has("metrics-out")) {
+    // Fold the thread-pool counters into the registry before the snapshot.
+    runtime::Runtime::Get().PublishMetrics();
+    const std::string path = args.Get("metrics-out");
+    if (!obs::Metrics::Get().WriteJson(path)) {
+      obs::ForceLog(obs::LogLevel::kError, "metrics_write_failed",
+                    {{"path", path}});
+      ok = false;
+    }
+  }
+  if (args.Has("trace-out")) {
+    const std::string path = args.Get("trace-out");
+    if (!obs::Tracer::Get().WriteChromeTrace(path)) {
+      obs::ForceLog(obs::LogLevel::kError, "trace_write_failed",
+                    {{"path", path}});
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace dlner::tools
+
+#endif  // DLNER_TOOLS_TOOL_COMMON_H_
