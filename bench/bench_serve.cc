@@ -21,8 +21,14 @@
 //   bench.serve.point<i>.rejected       429 backpressure rejections
 //   bench.serve.responses_total         total tagged responses, all points
 //
+// After the f32 sweep, one extra frontier point is replayed at the highest
+// load factor against a quantized-serving registry (int8 planned path, see
+// docs/PERFORMANCE.md) and recorded under bench.serve.quantized.*.
+//
 // Flags: --out FILE, --duration SECS (per point), --conns N,
-//        --loads F1,F2,... (load factors, default 0.5,1.0,2.0)
+//        --loads F1,F2,... (load factors, default 0.5,1.0,2.0,8.0),
+//        --quantized (serve the int8 path for the MAIN sweep instead; the
+//        extra frontier point is skipped since everything is already int8)
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -43,6 +49,7 @@
 #include "obs/metrics.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "tensor/quant.h"
 
 namespace {
 
@@ -273,7 +280,8 @@ int main(int argc, char** argv) {
   core::FlagSpec spec{{"out", core::FlagKind::kValue},
                       {"duration", core::FlagKind::kValue},
                       {"conns", core::FlagKind::kValue},
-                      {"loads", core::FlagKind::kValue}};
+                      {"loads", core::FlagKind::kValue},
+                      {"quantized", core::FlagKind::kBool}};
   core::Args args;
   if (!args.Parse(argc, argv, 1, spec)) {
     std::fprintf(stderr, "bench_serve: %s\n", args.error().c_str());
@@ -330,7 +338,24 @@ int main(int argc, char** argv) {
   const std::string model_path = "/tmp/bench_serve_model.bin";
   core::Pipeline::Train(config, tc, corpus, nullptr, types)->Save(model_path);
 
+  // Calibrate on the training pool and write the sidecar the serve path
+  // expects, so both the optional --quantized main sweep and the int8
+  // frontier point below can load the model quantized.
+  {
+    std::unique_ptr<core::Pipeline> calib_pipe =
+        core::Pipeline::Load(model_path);
+    if (calib_pipe == nullptr ||
+        calib_pipe->model()->CalibrateQuantization(corpus) <= 0 ||
+        !quant::WriteCalibrationFile(model_path + ".quant",
+                                     calib_pipe->model()->quant_calibration())) {
+      std::fprintf(stderr, "bench_serve: quantization calibration failed\n");
+      return 1;
+    }
+  }
+
+  const bool quantized_main = args.Has("quantized");
   serve::ModelRegistry registry;
+  registry.set_quantized(quantized_main);
   if (!registry.Load("default", model_path)) {
     std::fprintf(stderr, "bench_serve: cannot load %s\n", model_path.c_str());
     return 1;
@@ -364,6 +389,32 @@ int main(int argc, char** argv) {
   }
   server.Stop();
 
+  // Int8 frontier: replay the highest load factor against a fresh server
+  // whose registry serves the quantized plan. One line, same open-loop
+  // methodology, so the committed JSON carries an f32-vs-int8 comparison at
+  // saturation. Skipped under --quantized (the sweep above already is int8).
+  PointResult qpoint;
+  double qcapacity = 0.0;
+  if (!quantized_main) {
+    serve::ModelRegistry qregistry;
+    qregistry.set_quantized(true);
+    serve::Server qserver(&qregistry, serve_config);
+    if (!qregistry.Load("default", model_path) || !qserver.Start()) {
+      std::fprintf(stderr, "bench_serve: quantized server setup failed\n");
+      return 1;
+    }
+    qcapacity = MeasureCapacity(qserver.port(), bodies, 1.0);
+    const double f = loads.back();
+    qpoint = RunPoint(qserver.port(), bodies, f * qcapacity, qcapacity,
+                      duration, n_conns);
+    std::printf("%-8s %12.1f %10.2f %10.2f %12.1f %9lld  (int8 frontier, "
+                "capacity %.1f req/s)\n",
+                "int8", qpoint.offered_rps, qpoint.p50_us / 1e3,
+                qpoint.p99_us / 1e3, qpoint.sentences_per_sec,
+                static_cast<long long>(qpoint.rejected), qcapacity);
+    qserver.Stop();
+  }
+
   obs::EnableMetrics(true);
   obs::Metrics& m = obs::Metrics::Get();
   m.gauge("bench.serve.capacity_rps")->Set(capacity);
@@ -383,6 +434,17 @@ int main(int argc, char** argv) {
   }
   m.gauge("bench.serve.responses_total")
       ->Set(static_cast<double>(total_responses));
+  if (!quantized_main) {
+    m.gauge("bench.serve.quantized.capacity_rps")->Set(qcapacity);
+    m.gauge("bench.serve.quantized.offered_rps")->Set(qpoint.offered_rps);
+    m.gauge("bench.serve.quantized.load_factor")->Set(qpoint.load_factor);
+    m.gauge("bench.serve.quantized.p50_us")->Set(qpoint.p50_us);
+    m.gauge("bench.serve.quantized.p99_us")->Set(qpoint.p99_us);
+    m.gauge("bench.serve.quantized.sentences_per_sec")
+        ->Set(qpoint.sentences_per_sec);
+    m.gauge("bench.serve.quantized.rejected")
+        ->Set(static_cast<double>(qpoint.rejected));
+  }
   server.PublishMetrics();
   obs::MetricsJsonOptions json_options;
   json_options.skip_empty_histograms = true;

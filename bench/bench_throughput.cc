@@ -16,6 +16,17 @@
 // just adds scheduling noise), so speedup_4t is skipped and
 // bench.multithread_unmeasurable = 1 is recorded instead.
 //
+// SIMD / quantization series (docs/PERFORMANCE.md):
+//   bench.simd_isa                           0=scalar 1=avx2 2=neon
+//   bench.simd.<kernel>_gflops               explicit-ISA microkernels,
+//   bench.scalar.<kernel>_gflops             vs the true-scalar reference
+//                                            (kernel in gemm, affine,
+//                                            qaffine; x = reduction dim k)
+//   bench.planned_scalar.<model>.sentences_per_sec  plan, scalar-forced, 1t
+//   bench.simd_speedup.<model>               planned(1t) / scalar-forced(1t)
+//   bench.quantized.<model>.sentences_per_sec  int8 planned path, 1t
+//   bench.quant_speedup.<model>              quantized(1t) / planned(1t)
+//
 // Timing loops run with collection disabled so the numbers measure the
 // zero-overhead path; the registry is populated afterwards.
 #include <algorithm>
@@ -28,7 +39,11 @@
 #include "core/model.h"
 #include "obs/metrics.h"
 #include "runtime/runtime.h"
+#include "tensor/batched.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
+#include "tensor/simd/simd.h"
 
 namespace {
 
@@ -126,7 +141,85 @@ struct ModelRun {
   double eager_1t = 0.0;  // eager path, single thread
   std::vector<int> threads;
   std::vector<double> planned;  // plan path, one entry per thread count
+  double planned_scalar_1t = 0.0;  // plan path, ForceScalarKernels, 1 thread
+  double quantized_1t = 0.0;       // int8 planned path, 1 thread
 };
+
+// One microkernel shape: C[m,n] += A[m,k] . B[k,n].
+struct KernelShape {
+  int m, k, n;
+};
+
+constexpr KernelShape kKernelShapes[] = {{64, 48, 96}, {256, 96, 96},
+                                         {64, 300, 48}};
+
+// GFLOP/s of gemm::GemmAccum on one shape for one ISA (counting 2*m*k*n
+// flops per call, the dense-GEMM convention also used by MeasureMatMul).
+template <class Isa>
+double MeasureGemmKernel(const KernelShape& s, double min_seconds) {
+  Rng rng(7);
+  std::vector<Float> a(static_cast<std::size_t>(s.m) * s.k);
+  std::vector<Float> b(static_cast<std::size_t>(s.k) * s.n);
+  std::vector<Float> c(static_cast<std::size_t>(s.m) * s.n, 0.0);
+  for (Float& v : a) v = rng.Uniform(-1.0, 1.0);
+  for (Float& v : b) v = rng.Uniform(-1.0, 1.0);
+  volatile Float sink = 0.0;
+  int repeats = 0;
+  Stopwatch sw;
+  do {
+    gemm::GemmAccum<Isa>(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+    sink = sink + c[0];
+    ++repeats;
+  } while (sw.Seconds() < min_seconds);
+  return repeats * 2.0 * s.m * s.k * s.n / sw.Seconds() / 1e9;
+}
+
+// GFLOP/s of the fused batched::Affine (GEMM + bias + ReLU epilogue).
+template <class Isa>
+double MeasureAffineKernel(const KernelShape& s, double min_seconds) {
+  Rng rng(7);
+  std::vector<Float> x(static_cast<std::size_t>(s.m) * s.k);
+  std::vector<Float> out(static_cast<std::size_t>(s.m) * s.n);
+  Tensor w({s.k, s.n}), bias({s.n});
+  for (Float& v : x) v = rng.Uniform(-1.0, 1.0);
+  for (int i = 0; i < w.size(); ++i) w[i] = rng.Uniform(-1.0, 1.0);
+  for (int i = 0; i < bias.size(); ++i) bias[i] = rng.Uniform(-1.0, 1.0);
+  volatile Float sink = 0.0;
+  int repeats = 0;
+  Stopwatch sw;
+  do {
+    batched::AffineT<Isa>(x.data(), s.m, w, bias, out.data(),
+                          batched::Act::kRelu);
+    sink = sink + out[0];
+    ++repeats;
+  } while (sw.Seconds() < min_seconds);
+  return repeats * 2.0 * s.m * s.k * s.n / sw.Seconds() / 1e9;
+}
+
+// Effective GFLOP/s of the int8 QAffine (quantize + int8 GEMM + dequant),
+// counted against the same 2*m*k*n useful flops so the three series are
+// directly comparable.
+template <class Isa>
+double MeasureQAffineKernel(const KernelShape& s, double min_seconds) {
+  Rng rng(7);
+  std::vector<Float> x(static_cast<std::size_t>(s.m) * s.k);
+  std::vector<Float> out(static_cast<std::size_t>(s.m) * s.n);
+  Tensor w({s.k, s.n}), bias({s.n});
+  for (Float& v : x) v = rng.Uniform(-1.0, 1.0);
+  for (int i = 0; i < w.size(); ++i) w[i] = rng.Uniform(-1.0, 1.0);
+  for (int i = 0; i < bias.size(); ++i) bias[i] = rng.Uniform(-1.0, 1.0);
+  const quant::QuantizedMatrix qm = quant::QuantizeMatrix(w, 1.0);
+  volatile Float sink = 0.0;
+  int repeats = 0;
+  Stopwatch sw;
+  do {
+    quant::QAffineT<Isa>(x.data(), s.m, qm, bias, out.data(),
+                         batched::Act::kRelu);
+    sink = sink + out[0];
+    ++repeats;
+  } while (sw.Seconds() < min_seconds);
+  return repeats * 2.0 * s.m * s.k * s.n / sw.Seconds() / 1e9;
+}
 
 }  // namespace
 
@@ -143,6 +236,7 @@ int main(int argc, char** argv) {
   PrintHeader("Inference throughput (compiled plan vs eager)");
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("hardware_concurrency = %u\n", hw);
+  std::printf("simd_isa = %s (id %d)\n", simd::kIsaName, simd::kIsaId);
   if (hw <= 1) {
     std::printf("single-core host: 4-thread speedup unmeasurable, "
                 "speedup_4t gauges skipped\n");
@@ -153,17 +247,37 @@ int main(int argc, char** argv) {
   const auto types = EntityTypesOf(corpus);
   const std::vector<int> thread_counts = {1, 2, 4, 8};
 
+  // The four survey-taxonomy cells at the toolkit's default (tiny) dims,
+  // plus one serving-sized CNN cell: at width 24 the packed GEMMs are only
+  // a fraction of end-to-end time (embedding fill, layout, and decode
+  // bookkeeping bound the rest), so the wide cell is where kernel-level
+  // SIMD/int8 wins show up at full strength in sentences/sec.
+  struct Cell {
+    const char* name;
+    const char* encoder;
+    const char* decoder;
+    int word_dim;
+    int hidden_dim;
+  };
+  const Cell cells[] = {{"bilstm+softmax", "bilstm", "softmax", 24, 24},
+                        {"bilstm+crf", "bilstm", "crf", 24, 24},
+                        {"cnn+softmax", "cnn", "softmax", 24, 24},
+                        {"cnn+crf", "cnn", "crf", 24, 24},
+                        {"cnn-wide+softmax", "cnn", "softmax", 64, 96}};
+
   std::vector<ModelRun> runs;
-  for (const std::string encoder : {"bilstm", "cnn"}) {
-    for (const std::string decoder : {"softmax", "crf"}) {
+  {
+    for (const Cell& cell : cells) {
       core::NerConfig config;
-      config.encoder = encoder;
-      config.decoder = decoder;
+      config.encoder = cell.encoder;
+      config.decoder = cell.decoder;
+      config.word_dim = cell.word_dim;
+      config.hidden_dim = cell.hidden_dim;
       config.seed = 31;
       core::NerModel model(config, corpus, types);
 
       ModelRun run;
-      run.name = encoder + "+" + decoder;
+      run.name = cell.name;
 
       runtime::Runtime::Get().SetThreads(1);
       model.set_plan_inference(false);
@@ -176,6 +290,20 @@ int main(int argc, char** argv) {
         run.planned.push_back(MeasureThroughput(model, corpus, min_seconds));
       }
 
+      // Same compiled plan, explicit-ISA vs true-scalar kernels: the SIMD
+      // contribution isolated from everything else.
+      runtime::Runtime::Get().SetThreads(1);
+      batched::ForceScalarKernels(true);
+      run.planned_scalar_1t = MeasureThroughput(model, corpus, min_seconds);
+      batched::ForceScalarKernels(false);
+
+      // Int8 planned path: calibrate on the bench corpus itself (this is a
+      // throughput bench; accuracy bounds live in the differential suite).
+      model.CalibrateQuantization(corpus);
+      model.set_quantized_inference(true);
+      run.quantized_1t = MeasureThroughput(model, corpus, min_seconds);
+      model.set_quantized_inference(false);
+
       std::printf("%-16s eager 1t: %7.1f  plan 1t: %7.1f (%.2fx)",
                   run.name.c_str(), run.eager_1t, run.planned[0],
                   run.eager_1t > 0.0 ? run.planned[0] / run.eager_1t : 0.0);
@@ -183,6 +311,14 @@ int main(int argc, char** argv) {
         std::printf("  %dt: %7.1f", run.threads[i], run.planned[i]);
       }
       std::printf(" sent/s\n");
+      std::printf(
+          "%-16s scalar 1t: %7.1f (simd %.2fx)  int8 1t: %7.1f "
+          "(quant %.2fx) sent/s\n",
+          "", run.planned_scalar_1t,
+          run.planned_scalar_1t > 0.0 ? run.planned[0] / run.planned_scalar_1t
+                                      : 0.0,
+          run.quantized_1t,
+          run.planned[0] > 0.0 ? run.quantized_1t / run.planned[0] : 0.0);
       runs.push_back(std::move(run));
     }
   }
@@ -194,12 +330,51 @@ int main(int argc, char** argv) {
   std::printf("  blocked raw kernel : %6.3f GFLOP/s\n", mm.kernel_gflops);
   std::printf("  speedup            : %6.2fx\n", mm.speedup);
 
+  // Per-kernel GFLOP/s, explicit ISA vs true-scalar reference, over the
+  // microkernel shapes (x axis of each series = reduction dim k). Each
+  // shape gets min_seconds/3 so the section costs about as much as one
+  // model cell.
+  std::printf("\nSIMD microkernels (%s vs scalar, GFLOP/s by k)\n",
+              simd::kIsaName);
+  const double kernel_seconds = min_seconds / 3.0;
+  struct KernelSeries {
+    const char* name;
+    std::vector<double> simd, scalar;  // one entry per kKernelShapes
+  };
+  std::vector<KernelSeries> kernels = {{"gemm", {}, {}},
+                                       {"affine", {}, {}},
+                                       {"qaffine", {}, {}}};
+  for (const KernelShape& s : kKernelShapes) {
+    kernels[0].simd.push_back(
+        MeasureGemmKernel<simd::Active>(s, kernel_seconds));
+    kernels[0].scalar.push_back(
+        MeasureGemmKernel<simd::Scalar>(s, kernel_seconds));
+    kernels[1].simd.push_back(
+        MeasureAffineKernel<simd::Active>(s, kernel_seconds));
+    kernels[1].scalar.push_back(
+        MeasureAffineKernel<simd::Scalar>(s, kernel_seconds));
+    kernels[2].simd.push_back(
+        MeasureQAffineKernel<simd::Active>(s, kernel_seconds));
+    kernels[2].scalar.push_back(
+        MeasureQAffineKernel<simd::Scalar>(s, kernel_seconds));
+  }
+  for (const KernelSeries& ks : kernels) {
+    std::printf("  %-8s", ks.name);
+    for (std::size_t i = 0; i < ks.simd.size(); ++i) {
+      std::printf("  k=%-3d %6.3f vs %6.3f (%4.2fx)", kKernelShapes[i].k,
+                  ks.simd[i], ks.scalar[i],
+                  ks.scalar[i] > 0.0 ? ks.simd[i] / ks.scalar[i] : 0.0);
+    }
+    std::printf("\n");
+  }
+
   // Publish everything through the metrics registry and snapshot it.
   // Collection was off during the timing loops; flipping it on now only
   // affects bookkeeping done below.
   obs::EnableMetrics(true);
   obs::Metrics& m = obs::Metrics::Get();
   m.gauge("bench.hardware_concurrency")->Set(static_cast<double>(hw));
+  m.gauge("bench.simd_isa")->Set(static_cast<double>(simd::kIsaId));
   m.gauge("bench.corpus_sentences")->Set(static_cast<double>(corpus.size()));
   if (hw <= 1) m.gauge("bench.multithread_unmeasurable")->Set(1.0);
   for (const ModelRun& run : runs) {
@@ -218,6 +393,16 @@ int main(int argc, char** argv) {
     }
     m.gauge("bench.plan_speedup." + run.name)
         ->Set(run.eager_1t > 0.0 ? run.planned[0] / run.eager_1t : 0.0);
+    m.series("bench.planned_scalar." + run.name + ".sentences_per_sec")
+        ->Append(1.0, run.planned_scalar_1t);
+    m.gauge("bench.simd_speedup." + run.name)
+        ->Set(run.planned_scalar_1t > 0.0
+                  ? run.planned[0] / run.planned_scalar_1t
+                  : 0.0);
+    m.series("bench.quantized." + run.name + ".sentences_per_sec")
+        ->Append(1.0, run.quantized_1t);
+    m.gauge("bench.quant_speedup." + run.name)
+        ->Set(run.planned[0] > 0.0 ? run.quantized_1t / run.planned[0] : 0.0);
     // A 4-thread speedup measured on a single hardware thread is pure
     // scheduler noise (always < 1x); record it only when it means something.
     if (hw > 1) {
@@ -228,6 +413,18 @@ int main(int argc, char** argv) {
   m.gauge("bench.matmul.naive_gflops")->Set(mm.naive_gflops);
   m.gauge("bench.matmul.kernel_gflops")->Set(mm.kernel_gflops);
   m.gauge("bench.matmul.speedup")->Set(mm.speedup);
+  for (const KernelSeries& ks : kernels) {
+    obs::Series* simd_series =
+        m.series(std::string("bench.simd.") + ks.name + "_gflops");
+    obs::Series* scalar_series =
+        m.series(std::string("bench.scalar.") + ks.name + "_gflops");
+    for (std::size_t i = 0; i < ks.simd.size(); ++i) {
+      simd_series->Append(static_cast<double>(kKernelShapes[i].k),
+                          ks.simd[i]);
+      scalar_series->Append(static_cast<double>(kKernelShapes[i].k),
+                            ks.scalar[i]);
+    }
+  }
   // Thread-pool counters from the measured Evaluate runs.
   runtime::Runtime::Get().PublishMetrics();
   obs::MetricsJsonOptions json_options;

@@ -1,17 +1,29 @@
 #include "tensor/batched.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
 #include "tensor/gemm.h"
+#include "tensor/simd/simd.h"
 
 namespace dlner::batched {
 namespace {
 
 inline Float SigmoidScalar(Float v) { return 1.0 / (1.0 + std::exp(-v)); }
 
+std::atomic<bool> g_force_scalar{false};
+
 }  // namespace
+
+void ForceScalarKernels(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+bool ScalarKernelsForced() {
+  return g_force_scalar.load(std::memory_order_relaxed);
+}
 
 int BatchLayout::max_len() const {
   int m = 0;
@@ -19,8 +31,27 @@ int BatchLayout::max_len() const {
   return m;
 }
 
-void Affine(const Float* x, int rows, const Tensor& w, const Tensor& b,
-            Float* out, Act act) {
+// Activation epilogue shared by the affine/conv kernels. ReLU is a
+// comparison-select (vectorizable with scalar-identical semantics); tanh
+// stays a scalar libm call on every ISA so results never depend on a
+// vector polynomial approximation.
+template <class Isa>
+void ApplyAct(Float* x, int n, Act act) {
+  switch (act) {
+    case Act::kNone:
+      break;
+    case Act::kRelu:
+      Isa::Relu(x, n);
+      break;
+    case Act::kTanh:
+      for (int i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+      break;
+  }
+}
+
+template <class Isa>
+void AffineT(const Float* x, int rows, const Tensor& w, const Tensor& b,
+             Float* out, Act act) {
   DLNER_CHECK_EQ(w.dim(), 2);
   DLNER_CHECK_EQ(b.dim(), 1);
   const int k = w.rows();
@@ -31,22 +62,30 @@ void Affine(const Float* x, int rows, const Tensor& w, const Tensor& b,
     std::memcpy(out + static_cast<std::size_t>(i) * n, bias,
                 sizeof(Float) * static_cast<std::size_t>(n));
   }
-  gemm::GemmAccum(x, w.data(), out, rows, k, n);
-  const int total = rows * n;
-  switch (act) {
-    case Act::kNone:
-      break;
-    case Act::kRelu:
-      for (int i = 0; i < total; ++i) out[i] = std::max(out[i], 0.0);
-      break;
-    case Act::kTanh:
-      for (int i = 0; i < total; ++i) out[i] = std::tanh(out[i]);
-      break;
+  gemm::GemmAccum<Isa>(x, w.data(), out, rows, k, n);
+  ApplyAct<Isa>(out, rows * n, act);
+}
+
+void Affine(const Float* x, int rows, const Tensor& w, const Tensor& b,
+            Float* out, Act act) {
+  if (ScalarKernelsForced()) {
+    AffineT<simd::Scalar>(x, rows, w, b, out, act);
+  } else {
+    AffineT<simd::Active>(x, rows, w, b, out, act);
   }
 }
 
+template <class Isa>
+void ReluInPlaceT(Float* x, int n) {
+  Isa::Relu(x, n);
+}
+
 void ReluInPlace(Float* x, int n) {
-  for (int i = 0; i < n; ++i) x[i] = std::max(x[i], 0.0);
+  if (ScalarKernelsForced()) {
+    ReluInPlaceT<simd::Scalar>(x, n);
+  } else {
+    ReluInPlaceT<simd::Active>(x, n);
+  }
 }
 
 void UnfoldSegments(const Float* x, int d, const BatchLayout& layout,
@@ -73,9 +112,10 @@ void UnfoldSegments(const Float* x, int d, const BatchLayout& layout,
   }
 }
 
-void ConvSegments(const Float* x, int d, const BatchLayout& layout,
-                  int width, int dilation, const Tensor& w, const Tensor& b,
-                  Float* out, Act act) {
+template <class Isa>
+void ConvSegmentsT(const Float* x, int d, const BatchLayout& layout,
+                   int width, int dilation, const Tensor& w, const Tensor& b,
+                   Float* out, Act act) {
   DLNER_CHECK_EQ(width % 2, 1);
   DLNER_CHECK_GE(dilation, 1);
   DLNER_CHECK_EQ(w.rows(), width * d);
@@ -104,27 +144,28 @@ void ConvSegments(const Float* x, int d, const BatchLayout& layout,
       const int t0 = std::max(0, -ko);
       const int t1 = std::min(len, len - ko);
       if (t1 <= t0) continue;
-      gemm::GemmAccumStrided(
+      gemm::GemmAccumStrided<Isa>(
           x + static_cast<std::size_t>(off + t0 + ko) * d, d,
           wm + static_cast<std::size_t>(k + half) * d * n,
           cseg + static_cast<std::size_t>(t0) * n, t1 - t0, d, n);
     }
-    const int total = len * n;
-    switch (act) {
-      case Act::kNone:
-        break;
-      case Act::kRelu:
-        for (int i = 0; i < total; ++i) cseg[i] = std::max(cseg[i], 0.0);
-        break;
-      case Act::kTanh:
-        for (int i = 0; i < total; ++i) cseg[i] = std::tanh(cseg[i]);
-        break;
-    }
+    ApplyAct<Isa>(cseg, len * n, act);
   }
 }
 
-void LayerNormRows(const Float* x, int rows, int d, const Tensor& gain,
-                   const Tensor& bias, Float* out) {
+void ConvSegments(const Float* x, int d, const BatchLayout& layout,
+                  int width, int dilation, const Tensor& w, const Tensor& b,
+                  Float* out, Act act) {
+  if (ScalarKernelsForced()) {
+    ConvSegmentsT<simd::Scalar>(x, d, layout, width, dilation, w, b, out, act);
+  } else {
+    ConvSegmentsT<simd::Active>(x, d, layout, width, dilation, w, b, out, act);
+  }
+}
+
+template <class Isa>
+void LayerNormRowsT(const Float* x, int rows, int d, const Tensor& gain,
+                    const Tensor& bias, Float* out) {
   DLNER_CHECK_EQ(gain.size(), d);
   DLNER_CHECK_EQ(bias.size(), d);
   constexpr Float kEps = 1e-5;  // must match LayerNorm::Apply
@@ -133,6 +174,9 @@ void LayerNormRows(const Float* x, int rows, int d, const Tensor& gain,
   for (int i = 0; i < rows; ++i) {
     const Float* row = x + static_cast<std::size_t>(i) * d;
     Float* orow = out + static_cast<std::size_t>(i) * d;
+    // Mean/variance reductions stay scalar: vector partial sums would
+    // reassociate the additions and break bit-identity with the eager
+    // LayerNorm::Apply. Only the per-element epilogue vectorizes.
     Float mu = 0.0;
     for (int j = 0; j < d; ++j) mu += row[j];
     mu /= d;
@@ -143,34 +187,42 @@ void LayerNormRows(const Float* x, int rows, int d, const Tensor& gain,
     }
     var /= d;
     const Float inv_sigma = 1.0 / std::sqrt(var + kEps);
-    for (int j = 0; j < d; ++j) {
-      const Float xhat = (row[j] - mu) * inv_sigma;
-      orow[j] = g[j] * xhat + be[j];
-    }
+    Isa::NormApply(row, mu, inv_sigma, g, be, orow, d);
   }
 }
 
-void GlobalMaxConcat(const Float* h, int d, const BatchLayout& layout,
-                     Float* out) {
+void LayerNormRows(const Float* x, int rows, int d, const Tensor& gain,
+                   const Tensor& bias, Float* out) {
+  if (ScalarKernelsForced()) {
+    LayerNormRowsT<simd::Scalar>(x, rows, d, gain, bias, out);
+  } else {
+    LayerNormRowsT<simd::Active>(x, rows, d, gain, bias, out);
+  }
+}
+
+template <class Isa>
+void GlobalMaxConcatT(const Float* h, int d, const BatchLayout& layout,
+                      Float* out) {
   const int od = 2 * d;
   for (int b = 0; b < layout.batch(); ++b) {
     const int off = layout.offset(b);
     const int len = layout.len(b);
+    if (len == 0) continue;
     for (int t = 0; t < len; ++t) {
       std::memcpy(out + static_cast<std::size_t>(off + t) * od,
                   h + static_cast<std::size_t>(off + t) * d,
                   static_cast<std::size_t>(d) * sizeof(Float));
     }
     // Column-wise max over the segment, written once into the first row's
-    // second half and copied to the rest (no scratch allocation).
+    // second half and copied to the rest (no scratch allocation). Row t=0
+    // seeds the running max, then rows fold in ascending t — per column
+    // that is exactly the scalar `if (v > best)` scan, and max is exact in
+    // any order, so the row-major rewrite is bit-identical.
     Float* global = out + static_cast<std::size_t>(off) * od + d;
-    for (int j = 0; j < d; ++j) {
-      Float best = h[static_cast<std::size_t>(off) * d + j];
-      for (int t = 1; t < len; ++t) {
-        const Float v = h[static_cast<std::size_t>(off + t) * d + j];
-        if (v > best) best = v;
-      }
-      global[j] = best;
+    std::memcpy(global, h + static_cast<std::size_t>(off) * d,
+                static_cast<std::size_t>(d) * sizeof(Float));
+    for (int t = 1; t < len; ++t) {
+      Isa::RowMax(h + static_cast<std::size_t>(off + t) * d, global, d);
     }
     for (int t = 1; t < len; ++t) {
       std::memcpy(out + static_cast<std::size_t>(off + t) * od + d, global,
@@ -179,12 +231,26 @@ void GlobalMaxConcat(const Float* h, int d, const BatchLayout& layout,
   }
 }
 
+void GlobalMaxConcat(const Float* h, int d, const BatchLayout& layout,
+                     Float* out) {
+  if (ScalarKernelsForced()) {
+    GlobalMaxConcatT<simd::Scalar>(h, d, layout, out);
+  } else {
+    GlobalMaxConcatT<simd::Active>(h, d, layout, out);
+  }
+}
+
 namespace {
 
 // One direction of a packed-batch LSTM layer. At step s every segment with
 // len > s is "active"; active lanes are compacted (in segment order) into
-// one gate GEMM, then stepped elementwise with exactly the eager cell's
-// arithmetic: gates order i,f,o,g; c = f*c + i*g; h = o*tanh(c).
+// one gate GEMM, then stepped with exactly the eager cell's per-element
+// arithmetic: gates order i,f,o,g; c = f*c + i*g; h = o*tanh(c). The step
+// is phased — all gate nonlinearities first (scalar libm), then the state
+// update as vector primitives — which changes only loop structure, never
+// any element's value or operand order, so bit-identity with the eager
+// LstmCell holds on every ISA.
+template <class Isa>
 void RunLstmDir(const Float* x, int in_dim, int hidden,
                 const BatchLayout& layout, const LstmDir& dir, bool reverse,
                 Float* out, int out_stride, int col0, Arena* arena) {
@@ -210,24 +276,23 @@ void RunLstmDir(const Float* x, int in_dim, int hidden,
                   static_cast<std::size_t>(hidden) * sizeof(Float));
       lanes[na++] = b;
     }
-    Affine(z, na, *dir.w, *dir.b, gates, Act::kNone);
+    AffineT<Isa>(z, na, *dir.w, *dir.b, gates, Act::kNone);
     for (int a = 0; a < na; ++a) {
       const int b = lanes[a];
-      const Float* g = gates + static_cast<std::size_t>(a) * gdim;
+      Float* g = gates + static_cast<std::size_t>(a) * gdim;
       Float* hp = h_prev + static_cast<std::size_t>(b) * hidden;
       Float* cp = c_prev + static_cast<std::size_t>(b) * hidden;
       const int t = reverse ? layout.len(b) - 1 - s : s;
       Float* orow =
           out + static_cast<std::size_t>(layout.offset(b) + t) * out_stride +
           col0;
+      for (int j = 0; j < 3 * hidden; ++j) g[j] = SigmoidScalar(g[j]);
+      for (int j = 3 * hidden; j < gdim; ++j) g[j] = std::tanh(g[j]);
+      // c = f*c_prev + i*g, in place over c_prev (same-offset aliasing is
+      // allowed by the primitive contract).
+      Isa::MulMulAdd(g + hidden, cp, g, g + 3 * hidden, cp, hidden);
       for (int j = 0; j < hidden; ++j) {
-        const Float gi = SigmoidScalar(g[j]);
-        const Float gf = SigmoidScalar(g[hidden + j]);
-        const Float go = SigmoidScalar(g[2 * hidden + j]);
-        const Float gg = std::tanh(g[3 * hidden + j]);
-        const Float c = gf * cp[j] + gi * gg;
-        const Float h = go * std::tanh(c);
-        cp[j] = c;
+        const Float h = g[2 * hidden + j] * std::tanh(cp[j]);
         hp[j] = h;
         orow[j] = h;
       }
@@ -237,6 +302,9 @@ void RunLstmDir(const Float* x, int in_dim, int hidden,
 
 // One direction of a packed-batch GRU layer; mirrors GruCell::Step:
 // r,z gates from [x, h]; candidate from [x, r*h]; h = (1-z)*h + z*h~.
+// Phased like the LSTM step: sigmoids/tanh in place first, then the
+// elementwise products and interpolation as vector primitives.
+template <class Isa>
 void RunGruDir(const Float* x, int in_dim, int hidden,
                const BatchLayout& layout, const GruDir& dir, bool reverse,
                Float* out, int out_stride, int col0, Arena* arena) {
@@ -263,57 +331,102 @@ void RunGruDir(const Float* x, int in_dim, int hidden,
                   static_cast<std::size_t>(hidden) * sizeof(Float));
       lanes[na++] = b;
     }
-    Affine(z, na, *dir.rz_w, *dir.rz_b, rz, Act::kNone);
+    AffineT<Isa>(z, na, *dir.rz_w, *dir.rz_b, rz, Act::kNone);
     for (int a = 0; a < na; ++a) {
       const int b = lanes[a];
-      const Float* rzrow = rz + static_cast<std::size_t>(a) * rdim;
+      Float* rzrow = rz + static_cast<std::size_t>(a) * rdim;
       const Float* hp = h_prev + static_cast<std::size_t>(b) * hidden;
       Float* zcrow = zc + static_cast<std::size_t>(a) * zdim;
       std::memcpy(zcrow, z + static_cast<std::size_t>(a) * zdim,
                   static_cast<std::size_t>(in_dim) * sizeof(Float));
-      for (int j = 0; j < hidden; ++j) {
-        zcrow[in_dim + j] = SigmoidScalar(rzrow[j]) * hp[j];
-      }
+      for (int j = 0; j < hidden; ++j) rzrow[j] = SigmoidScalar(rzrow[j]);
+      Isa::Mul(rzrow, hp, zcrow + in_dim, hidden);
     }
-    Affine(zc, na, *dir.cand_w, *dir.cand_b, cand, Act::kNone);
+    AffineT<Isa>(zc, na, *dir.cand_w, *dir.cand_b, cand, Act::kNone);
     for (int a = 0; a < na; ++a) {
       const int b = lanes[a];
-      const Float* rzrow = rz + static_cast<std::size_t>(a) * rdim;
-      const Float* crow = cand + static_cast<std::size_t>(a) * hidden;
+      Float* rzrow = rz + static_cast<std::size_t>(a) * rdim;
+      Float* crow = cand + static_cast<std::size_t>(a) * hidden;
       Float* hp = h_prev + static_cast<std::size_t>(b) * hidden;
       const int t = reverse ? layout.len(b) - 1 - s : s;
       Float* orow =
           out + static_cast<std::size_t>(layout.offset(b) + t) * out_stride +
           col0;
       for (int j = 0; j < hidden; ++j) {
-        const Float zg = SigmoidScalar(rzrow[hidden + j]);
-        const Float h_tilde = std::tanh(crow[j]);
-        const Float h = (1.0 - zg) * hp[j] + zg * h_tilde;
-        hp[j] = h;
-        orow[j] = h;
+        rzrow[hidden + j] = SigmoidScalar(rzrow[hidden + j]);
       }
+      for (int j = 0; j < hidden; ++j) crow[j] = std::tanh(crow[j]);
+      // h = (1-z)*h_prev + z*h~, into the output row, then carried forward.
+      Isa::Blend(rzrow + hidden, hp, crow, orow, hidden);
+      std::memcpy(hp, orow, static_cast<std::size_t>(hidden) * sizeof(Float));
     }
   }
 }
 
 }  // namespace
 
+template <class Isa>
+void BiLstmT(const Float* x, int in_dim, int hidden, const BatchLayout& layout,
+             const LstmDir& fwd, const LstmDir& bwd, Float* out,
+             Arena* arena) {
+  const int stride = 2 * hidden;
+  RunLstmDir<Isa>(x, in_dim, hidden, layout, fwd, /*reverse=*/false, out,
+                  stride, /*col0=*/0, arena);
+  RunLstmDir<Isa>(x, in_dim, hidden, layout, bwd, /*reverse=*/true, out,
+                  stride, /*col0=*/hidden, arena);
+}
+
 void BiLstm(const Float* x, int in_dim, int hidden, const BatchLayout& layout,
             const LstmDir& fwd, const LstmDir& bwd, Float* out, Arena* arena) {
+  if (ScalarKernelsForced()) {
+    BiLstmT<simd::Scalar>(x, in_dim, hidden, layout, fwd, bwd, out, arena);
+  } else {
+    BiLstmT<simd::Active>(x, in_dim, hidden, layout, fwd, bwd, out, arena);
+  }
+}
+
+template <class Isa>
+void BiGruT(const Float* x, int in_dim, int hidden, const BatchLayout& layout,
+            const GruDir& fwd, const GruDir& bwd, Float* out, Arena* arena) {
   const int stride = 2 * hidden;
-  RunLstmDir(x, in_dim, hidden, layout, fwd, /*reverse=*/false, out, stride,
-             /*col0=*/0, arena);
-  RunLstmDir(x, in_dim, hidden, layout, bwd, /*reverse=*/true, out, stride,
-             /*col0=*/hidden, arena);
+  RunGruDir<Isa>(x, in_dim, hidden, layout, fwd, /*reverse=*/false, out,
+                 stride, /*col0=*/0, arena);
+  RunGruDir<Isa>(x, in_dim, hidden, layout, bwd, /*reverse=*/true, out,
+                 stride, /*col0=*/hidden, arena);
 }
 
 void BiGru(const Float* x, int in_dim, int hidden, const BatchLayout& layout,
            const GruDir& fwd, const GruDir& bwd, Float* out, Arena* arena) {
-  const int stride = 2 * hidden;
-  RunGruDir(x, in_dim, hidden, layout, fwd, /*reverse=*/false, out, stride,
-            /*col0=*/0, arena);
-  RunGruDir(x, in_dim, hidden, layout, bwd, /*reverse=*/true, out, stride,
-            /*col0=*/hidden, arena);
+  if (ScalarKernelsForced()) {
+    BiGruT<simd::Scalar>(x, in_dim, hidden, layout, fwd, bwd, out, arena);
+  } else {
+    BiGruT<simd::Active>(x, in_dim, hidden, layout, fwd, bwd, out, arena);
+  }
 }
+
+// Explicit instantiations so the differential tests can call the template
+// entry points from another translation unit. When the active ISA is
+// Scalar the first block already covers both.
+#define DLNER_BATCHED_INSTANTIATE(Isa)                                        \
+  template void AffineT<Isa>(const Float*, int, const Tensor&, const Tensor&, \
+                             Float*, Act);                                    \
+  template void ReluInPlaceT<Isa>(Float*, int);                               \
+  template void ConvSegmentsT<Isa>(const Float*, int, const BatchLayout&,     \
+                                   int, int, const Tensor&, const Tensor&,    \
+                                   Float*, Act);                              \
+  template void LayerNormRowsT<Isa>(const Float*, int, int, const Tensor&,    \
+                                    const Tensor&, Float*);                   \
+  template void GlobalMaxConcatT<Isa>(const Float*, int, const BatchLayout&,  \
+                                      Float*);                                \
+  template void BiLstmT<Isa>(const Float*, int, int, const BatchLayout&,      \
+                             const LstmDir&, const LstmDir&, Float*, Arena*); \
+  template void BiGruT<Isa>(const Float*, int, int, const BatchLayout&,       \
+                            const GruDir&, const GruDir&, Float*, Arena*);
+
+DLNER_BATCHED_INSTANTIATE(simd::Scalar)
+#if DLNER_SIMD_ISA_ID != 0
+DLNER_BATCHED_INSTANTIATE(simd::Active)
+#endif
+#undef DLNER_BATCHED_INSTANTIATE
 
 }  // namespace dlner::batched

@@ -104,6 +104,45 @@ void BiLstm(const Float* x, int in_dim, int hidden, const BatchLayout& layout,
 void BiGru(const Float* x, int in_dim, int hidden, const BatchLayout& layout,
            const GruDir& fwd, const GruDir& bwd, Float* out, Arena* arena);
 
+// --- ISA-templated variants -----------------------------------------------
+//
+// Each kernel above is a thin wrapper over a template parameterized on the
+// SIMD primitive set (tensor/simd/simd.h). Every instantiation is
+// bit-identical by contract; the differential suite checks simd::Active
+// against simd::Scalar over random shapes and ragged segment mixes.
+// Instantiations for simd::Scalar and simd::Active are provided by
+// batched.cc.
+template <class Isa>
+void AffineT(const Float* x, int rows, const Tensor& w, const Tensor& b,
+             Float* out, Act act = Act::kNone);
+template <class Isa>
+void ReluInPlaceT(Float* x, int n);
+template <class Isa>
+void ConvSegmentsT(const Float* x, int d, const BatchLayout& layout,
+                   int width, int dilation, const Tensor& w, const Tensor& b,
+                   Float* out, Act act = Act::kNone);
+template <class Isa>
+void LayerNormRowsT(const Float* x, int rows, int d, const Tensor& gain,
+                    const Tensor& bias, Float* out);
+template <class Isa>
+void GlobalMaxConcatT(const Float* h, int d, const BatchLayout& layout,
+                      Float* out);
+template <class Isa>
+void BiLstmT(const Float* x, int in_dim, int hidden, const BatchLayout& layout,
+             const LstmDir& fwd, const LstmDir& bwd, Float* out, Arena* arena);
+template <class Isa>
+void BiGruT(const Float* x, int in_dim, int hidden, const BatchLayout& layout,
+            const GruDir& fwd, const GruDir& bwd, Float* out, Arena* arena);
+
+/// Benchmark hook: routes the non-template entry points above (and the
+/// quantized kernels in tensor/quant.h) through the simd::Scalar
+/// instantiations, so one binary can A/B planned-SIMD against
+/// planned-scalar end to end (bench_throughput's bench.simd_speedup.*
+/// series). Outputs are bit-identical either way — this only trades speed.
+/// Process-wide; not meant for production use.
+void ForceScalarKernels(bool force);
+bool ScalarKernelsForced();
+
 }  // namespace dlner::batched
 
 #endif  // DLNER_TENSOR_BATCHED_H_

@@ -1,23 +1,31 @@
 // Raw-pointer GEMM kernels shared by the autograd ops (ops.cc) and the
 // packed-batch inference kernels (batched.cc).
 //
-// All three access A, B, and C strictly row-major with hoisted row
-// pointers. The forward kernel additionally blocks the inner (k) dimension
-// so a slab of B rows stays cache-resident across the rows of A. Zero
-// entries of A are skipped: activation matrices from ReLU layers and
-// one-hot-ish features are sparse enough for the branch to pay for itself.
+// All access A, B, and C strictly row-major with hoisted row pointers. The
+// forward kernel blocks the inner (k) dimension so a slab of B rows stays
+// cache-resident across the rows of A, and additionally walks A four rows
+// at a time so each streamed B row updates four C rows from registers (the
+// Axpy4 tile in tensor/simd/). Zero entries of A are skipped: activation
+// matrices from ReLU layers and one-hot-ish features are sparse enough for
+// the branch to pay for itself — and the skip is load-bearing for
+// bit-identity, because accumulating a literal a*0 is not a no-op in IEEE
+// arithmetic (-0.0 + 0.0 = +0.0, 0 * inf = NaN).
 //
-// Every output row is accumulated independently and in ascending-k order
-// (blocking only changes which rows of B are resident, not the per-row
-// summation order), which is what lets the planned batch path produce
-// bit-identical results to the per-sentence eager path: a packed
-// [sum(T), k] x [k, n] GEMM computes exactly the same per-row sums as B
-// separate per-sentence GEMMs or AffineVec calls.
+// Every output row is accumulated independently and in ascending-k order:
+// neither the k-blocking, nor the 4-row tile (rows are independent), nor
+// the SIMD Axpy primitives (mul+add per element, never FMA, ascending j)
+// change any per-element summation order. That is what lets the planned
+// batch path produce bit-identical results to the per-sentence eager path,
+// and every Isa instantiation produce bit-identical results to Scalar: a
+// packed [sum(T), k] x [k, n] GEMM computes exactly the same per-row sums
+// as B separate per-sentence GEMMs or AffineVec calls, on any ISA.
 #ifndef DLNER_TENSOR_GEMM_H_
 #define DLNER_TENSOR_GEMM_H_
 
 #include <algorithm>
 #include <cstddef>
+
+#include "tensor/simd/simd.h"
 
 namespace dlner::gemm {
 
@@ -29,31 +37,61 @@ inline constexpr int kGemmBlock = 32;
 // sliding windows of a sequence without materializing an unfolded copy.
 // The per-row summation order is identical to GemmAccum (the lda == k
 // case), so strided and dense calls over the same values are bit-identical.
-template <typename Float>
-void GemmAccumStrided(const Float* a, int lda, const Float* b, Float* c,
+template <class Isa = simd::Active>
+void GemmAccumStrided(const double* a, int lda, const double* b, double* c,
                       int m, int k, int n) {
   for (int p0 = 0; p0 < k; p0 += kGemmBlock) {
     const int p1 = std::min(k, p0 + kGemmBlock);
-    for (int i = 0; i < m; ++i) {
-      const Float* arow = a + static_cast<std::size_t>(i) * lda;
-      Float* crow = c + static_cast<std::size_t>(i) * n;
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const double* a0 = a + static_cast<std::size_t>(i) * lda;
+      const double* a1 = a0 + lda;
+      const double* a2 = a1 + lda;
+      const double* a3 = a2 + lda;
+      double* c0 = c + static_cast<std::size_t>(i) * n;
+      double* c1 = c0 + n;
+      double* c2 = c1 + n;
+      double* c3 = c2 + n;
       for (int p = p0; p < p1; ++p) {
-        const Float av = arow[p];
+        const double v0 = a0[p];
+        const double v1 = a1[p];
+        const double v2 = a2[p];
+        const double v3 = a3[p];
+        const double* brow = b + static_cast<std::size_t>(p) * n;
+        if (v0 != 0.0 && v1 != 0.0 && v2 != 0.0 && v3 != 0.0) {
+          Isa::Axpy4(v0, v1, v2, v3, brow, c0, c1, c2, c3, n);
+        } else {
+          // Per-row zero-skip, exactly as the 1-row loop below: a row with
+          // av == 0.0 must contribute nothing, not a*0.
+          if (v0 != 0.0) Isa::Axpy(v0, brow, c0, n);
+          if (v1 != 0.0) Isa::Axpy(v1, brow, c1, n);
+          if (v2 != 0.0) Isa::Axpy(v2, brow, c2, n);
+          if (v3 != 0.0) Isa::Axpy(v3, brow, c3, n);
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const double* arow = a + static_cast<std::size_t>(i) * lda;
+      double* crow = c + static_cast<std::size_t>(i) * n;
+      for (int p = p0; p < p1; ++p) {
+        const double av = arow[p];
         if (av == 0.0) continue;
-        const Float* brow = b + static_cast<std::size_t>(p) * n;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        Isa::Axpy(av, b + static_cast<std::size_t>(p) * n, crow, n);
       }
     }
   }
 }
 
 // C[m,n] += A[m,k] * B[k,n]
-template <typename Float>
-void GemmAccum(const Float* a, const Float* b, Float* c, int m, int k, int n) {
-  GemmAccumStrided(a, k, b, c, m, k, n);
+template <class Isa = simd::Active>
+void GemmAccum(const double* a, const double* b, double* c, int m, int k,
+               int n) {
+  GemmAccumStrided<Isa>(a, k, b, c, m, k, n);
 }
 
-// dA[m,k] += dC[m,n] * B^T  (row-dot-row: both operands stream row-major)
+// dA[m,k] += dC[m,n] * B^T  (row-dot-row: both operands stream row-major).
+// Training-only; stays scalar — the dot-product reduction order is part of
+// seeded-rerun reproducibility and vector partial sums would reassociate it.
 template <typename Float>
 void GemmAccumGradA(const Float* dc, const Float* b, Float* da, int m, int k,
                     int n) {
@@ -69,7 +107,7 @@ void GemmAccumGradA(const Float* dc, const Float* b, Float* da, int m, int k,
   }
 }
 
-// dB[k,n] += A^T * dC
+// dB[k,n] += A^T * dC  (training-only; scalar for the same reason)
 template <typename Float>
 void GemmAccumGradB(const Float* a, const Float* dc, Float* db, int m, int k,
                     int n) {

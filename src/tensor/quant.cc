@@ -1,0 +1,208 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "tensor/simd/simd.h"
+
+namespace dlner::quant {
+namespace {
+
+using batched::Act;
+using batched::BatchLayout;
+
+// "dlnerQT1": sidecar magic + version in one 8-byte tag.
+constexpr char kMagic[8] = {'d', 'l', 'n', 'e', 'r', 'Q', 'T', '1'};
+
+// A plan has one calibration slot per quantizable op — a handful per
+// architecture. Anything above this is a corrupt or hostile file.
+constexpr std::uint64_t kMaxEntries = 1 << 16;
+
+template <class Isa>
+void ApplyAct(Float* x, int n, Act act) {
+  switch (act) {
+    case Act::kNone:
+      break;
+    case Act::kRelu:
+      Isa::Relu(x, n);
+      break;
+    case Act::kTanh:
+      for (int i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+      break;
+  }
+}
+
+}  // namespace
+
+bool WriteCalibrationFile(const std::string& path, const Calibration& calib) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic);
+  const std::uint64_t count = calib.max_abs.size();
+  ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+  ok = ok && (count == 0 ||
+              std::fwrite(calib.max_abs.data(), sizeof(double), count, f) ==
+                  count);
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+bool ReadCalibrationFile(const std::string& path, Calibration* calib) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[sizeof(kMagic)];
+  std::uint64_t count = 0;
+  bool ok = std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+            std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+            std::fread(&count, sizeof(count), 1, f) == 1 &&
+            count <= kMaxEntries;
+  if (ok) {
+    calib->max_abs.assign(count, 0.0);
+    ok = count == 0 || std::fread(calib->max_abs.data(), sizeof(double),
+                                  count, f) == count;
+  }
+  // Reject trailing garbage: the sidecar is exactly header + payload.
+  char extra;
+  ok = ok && std::fread(&extra, 1, 1, f) == 0 && std::feof(f) != 0;
+  std::fclose(f);
+  if (ok) {
+    for (double v : calib->max_abs) {
+      if (!std::isfinite(v) || v < 0.0) return false;
+    }
+  }
+  return ok;
+}
+
+QuantizedMatrix QuantizeMatrix(const Tensor& w, double act_max_abs) {
+  DLNER_CHECK_EQ(w.dim(), 2);
+  DLNER_CHECK_GE(act_max_abs, 0.0);
+  QuantizedMatrix qm;
+  qm.k = w.rows();
+  qm.n = w.cols();
+  qm.q.assign(static_cast<std::size_t>(qm.k) * qm.n, 0);
+  qm.dequant.assign(qm.n, 0.0);
+  const double act_scale = act_max_abs > 0.0 ? act_max_abs / 127.0 : 0.0;
+  qm.act_inv_scale = act_max_abs > 0.0 ? 127.0 / act_max_abs : 0.0;
+  const Float* wd = w.data();
+  for (int j = 0; j < qm.n; ++j) {
+    double cmax = 0.0;
+    for (int p = 0; p < qm.k; ++p) {
+      cmax = std::max(cmax,
+                      std::fabs(wd[static_cast<std::size_t>(p) * qm.n + j]));
+    }
+    const double col_scale = cmax > 0.0 ? cmax / 127.0 : 0.0;
+    qm.dequant[j] = act_scale * col_scale;
+    if (col_scale <= 0.0) continue;
+    const double inv = 1.0 / col_scale;
+    for (int p = 0; p < qm.k; ++p) {
+      const std::size_t idx = static_cast<std::size_t>(p) * qm.n + j;
+      long v = std::lrint(wd[idx] * inv);
+      v = std::clamp(v, -127L, 127L);
+      qm.q[idx] = static_cast<std::int8_t>(v);
+    }
+  }
+  return qm;
+}
+
+template <class Isa>
+void QAffineT(const Float* x, int rows, const QuantizedMatrix& qm,
+              const Tensor& bias, Float* out, Act act) {
+  DLNER_CHECK_EQ(qm.n, bias.size());
+  const int k = qm.k;
+  const int n = qm.n;
+  // Thread-local scratch mirrors the plan's thread_local arena: capacity
+  // persists across batches, so the steady state allocates nothing.
+  thread_local std::vector<std::int8_t> qx;
+  thread_local std::vector<std::int32_t> acc;
+  qx.resize(static_cast<std::size_t>(rows) * k);
+  acc.assign(static_cast<std::size_t>(rows) * n, 0);
+  Isa::Quantize(x, qm.act_inv_scale, qx.data(), rows * k);
+  Isa::QGemm(qx.data(), k, qm.q.data(), acc.data(), rows, k, n);
+  const Float* bd = bias.data();
+  for (int i = 0; i < rows; ++i) {
+    Isa::Dequant(acc.data() + static_cast<std::size_t>(i) * n,
+                 qm.dequant.data(), bd, out + static_cast<std::size_t>(i) * n,
+                 n);
+  }
+  ApplyAct<Isa>(out, rows * n, act);
+}
+
+template <class Isa>
+void QConvSegmentsT(const Float* x, int d, const BatchLayout& layout,
+                    int width, int dilation, const QuantizedMatrix& qm,
+                    const Tensor& bias, Float* out, Act act) {
+  DLNER_CHECK_EQ(width % 2, 1);
+  DLNER_CHECK_GE(dilation, 1);
+  DLNER_CHECK_EQ(qm.k, width * d);
+  const int half = width / 2;
+  const int n = qm.n;
+  DLNER_CHECK_EQ(n, bias.size());
+  const int rows = layout.rows();
+  thread_local std::vector<std::int8_t> qx;
+  thread_local std::vector<std::int32_t> acc;
+  qx.resize(static_cast<std::size_t>(rows) * d);
+  Isa::Quantize(x, qm.act_inv_scale, qx.data(), rows * d);
+  const Float* bd = bias.data();
+  for (int seg = 0; seg < layout.batch(); ++seg) {
+    const int off = layout.offset(seg);
+    const int len = layout.len(seg);
+    if (len == 0) continue;
+    acc.assign(static_cast<std::size_t>(len) * n, 0);
+    // Same slab structure as the f32 kernel: one strided int8 GEMM per
+    // window offset, all accumulating into the segment's int32 buffer.
+    for (int k2 = -half; k2 <= half; ++k2) {
+      const int ko = k2 * dilation;
+      const int t0 = std::max(0, -ko);
+      const int t1 = std::min(len, len - ko);
+      if (t1 <= t0) continue;
+      Isa::QGemm(qx.data() + static_cast<std::size_t>(off + t0 + ko) * d, d,
+                 qm.q.data() + static_cast<std::size_t>(k2 + half) * d * n,
+                 acc.data() + static_cast<std::size_t>(t0) * n, t1 - t0, d, n);
+    }
+    Float* cseg = out + static_cast<std::size_t>(off) * n;
+    for (int t = 0; t < len; ++t) {
+      Isa::Dequant(acc.data() + static_cast<std::size_t>(t) * n,
+                   qm.dequant.data(), bd,
+                   cseg + static_cast<std::size_t>(t) * n, n);
+    }
+    ApplyAct<Isa>(cseg, len * n, act);
+  }
+}
+
+void QAffine(const Float* x, int rows, const QuantizedMatrix& qm,
+             const Tensor& bias, Float* out, Act act) {
+  if (batched::ScalarKernelsForced()) {
+    QAffineT<simd::Scalar>(x, rows, qm, bias, out, act);
+  } else {
+    QAffineT<simd::Active>(x, rows, qm, bias, out, act);
+  }
+}
+
+void QConvSegments(const Float* x, int d, const BatchLayout& layout,
+                   int width, int dilation, const QuantizedMatrix& qm,
+                   const Tensor& bias, Float* out, Act act) {
+  if (batched::ScalarKernelsForced()) {
+    QConvSegmentsT<simd::Scalar>(x, d, layout, width, dilation, qm, bias, out,
+                                 act);
+  } else {
+    QConvSegmentsT<simd::Active>(x, d, layout, width, dilation, qm, bias, out,
+                                 act);
+  }
+}
+
+#define DLNER_QUANT_INSTANTIATE(Isa)                                         \
+  template void QAffineT<Isa>(const Float*, int, const QuantizedMatrix&,     \
+                              const Tensor&, Float*, Act);                   \
+  template void QConvSegmentsT<Isa>(const Float*, int, const BatchLayout&,   \
+                                    int, int, const QuantizedMatrix&,        \
+                                    const Tensor&, Float*, Act);
+
+DLNER_QUANT_INSTANTIATE(simd::Scalar)
+#if DLNER_SIMD_ISA_ID != 0
+DLNER_QUANT_INSTANTIATE(simd::Active)
+#endif
+#undef DLNER_QUANT_INSTANTIATE
+
+}  // namespace dlner::quant

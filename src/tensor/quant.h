@@ -1,0 +1,82 @@
+// Post-training int8 quantization for the compiled inference path
+// (docs/PERFORMANCE.md, "SIMD & quantization").
+//
+// Scheme: symmetric per-output-column weight scales plus one static
+// per-tensor activation scale per quantized op, estimated by a calibration
+// pass over a dev corpus (max |activation| flowing into the op, recorded by
+// InferencePlan::Calibrate). Inference quantizes activations with
+// q = round(clamp(x / act_scale * 127, ±127)), accumulates the GEMM in
+// int32 (exact: |q| <= 127 so i32 holds any k < 2^17 reduction), and a f32
+// epilogue applies out[j] = acc[j] * (act_scale * col_scale[j]) + bias[j].
+//
+// Training and the eager path stay f32. Only plan-compiled Affine and
+// ConvSegments sites quantize; RNN gate GEMMs are deliberately excluded —
+// recurrent state feeds back through the quantizer, so error compounds per
+// time step instead of staying bounded per layer.
+#ifndef DLNER_TENSOR_QUANT_H_
+#define DLNER_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/batched.h"
+#include "tensor/tensor.h"
+
+namespace dlner::quant {
+
+/// Activation calibration: max_abs[i] is the largest |x| observed flowing
+/// into quantizable op i (indexed in plan compile order, which is
+/// deterministic for a given architecture). Serialized as the
+/// `<model>.quant` sidecar written by `dlner quantize`.
+struct Calibration {
+  std::vector<double> max_abs;
+};
+
+/// Sidecar I/O. The reader is hardened like the checkpoint readers: bad
+/// magic, short reads, absurd counts, trailing bytes, and non-finite or
+/// negative scales all fail by return value, never by crash.
+bool WriteCalibrationFile(const std::string& path, const Calibration& calib);
+bool ReadCalibrationFile(const std::string& path, Calibration* calib);
+
+/// A weight matrix quantized once at plan-compile time: int8 values in
+/// row-major [k, n] with symmetric per-column scales, the dequant factors
+/// pre-fused with the activation scale.
+struct QuantizedMatrix {
+  int k = 0;
+  int n = 0;
+  std::vector<std::int8_t> q;   // [k * n], row-major like the f32 weights
+  std::vector<double> dequant;  // [n]: act_scale * col_scale[j]
+  double act_inv_scale = 0.0;   // 127 / act_max; 0 when act_max == 0
+};
+
+/// Quantizes w [k, n] given the calibrated bound on |input activation|.
+QuantizedMatrix QuantizeMatrix(const Tensor& w, double act_max_abs);
+
+/// Int8 twin of batched::Affine:
+/// out[rows,n] = act(dequant(quantize(x[rows,k]) . q) + bias).
+template <class Isa>
+void QAffineT(const Float* x, int rows, const QuantizedMatrix& qm,
+              const Tensor& bias, Float* out, batched::Act act);
+
+/// Int8 twin of batched::ConvSegments: the same one-strided-GEMM-per-window-
+/// offset structure, with a single int32 accumulator per output row across
+/// all offsets and one dequant+bias+act epilogue. The packed input is
+/// quantized once per call.
+template <class Isa>
+void QConvSegmentsT(const Float* x, int d, const batched::BatchLayout& layout,
+                    int width, int dilation, const QuantizedMatrix& qm,
+                    const Tensor& bias, Float* out, batched::Act act);
+
+/// Non-template entry points on the active ISA; they honor
+/// batched::ForceScalarKernels like the f32 kernels (outputs are identical
+/// either way — int8 arithmetic is exact on every ISA).
+void QAffine(const Float* x, int rows, const QuantizedMatrix& qm,
+             const Tensor& bias, Float* out, batched::Act act);
+void QConvSegments(const Float* x, int d, const batched::BatchLayout& layout,
+                   int width, int dilation, const QuantizedMatrix& qm,
+                   const Tensor& bias, Float* out, batched::Act act);
+
+}  // namespace dlner::quant
+
+#endif  // DLNER_TENSOR_QUANT_H_

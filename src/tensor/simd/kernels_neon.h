@@ -1,0 +1,239 @@
+// AArch64 NEON implementation of the SIMD primitive set (2 doubles / 8
+// int8 per vector). Bit-identical to simd::Scalar by construction:
+//
+//  * mul and add stay separate instructions (fmul + fadd, never fmla) to
+//    match -ffp-contract=off scalar code;
+//  * max-like operations use explicit compare+select (vcgtq/vbslq) instead
+//    of vmaxq so NaN and ±0 behavior reproduces the scalar
+//    comparison-select expressions exactly (vmaxq propagates NaN, the
+//    scalar contract does not);
+//  * vcvtnq_s64_f64 rounds to nearest-even, matching std::lrint in the
+//    default FP environment;
+//  * int8 products are computed in 16-bit lanes (|a*w| <= 16129 < 32767,
+//    exact) and widened into the scalar kernel's int32 accumulators.
+//
+// Scalar loop tails reuse the exact per-element expressions from
+// kernels_scalar.h.
+#ifndef DLNER_TENSOR_SIMD_KERNELS_NEON_H_
+#define DLNER_TENSOR_SIMD_KERNELS_NEON_H_
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace dlner::simd {
+
+struct Neon {
+  static constexpr const char* kName = "neon";
+
+  static void Axpy(double a, const double* x, double* y, int n) {
+    const float64x2_t va = vdupq_n_f64(a);
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float64x2_t prod = vmulq_f64(va, vld1q_f64(x + j));
+      vst1q_f64(y + j, vaddq_f64(vld1q_f64(y + j), prod));
+    }
+    for (; j < n; ++j) y[j] += a * x[j];
+  }
+
+  static void Axpy4(double a0, double a1, double a2, double a3,
+                    const double* x, double* y0, double* y1, double* y2,
+                    double* y3, int n) {
+    const float64x2_t va0 = vdupq_n_f64(a0);
+    const float64x2_t va1 = vdupq_n_f64(a1);
+    const float64x2_t va2 = vdupq_n_f64(a2);
+    const float64x2_t va3 = vdupq_n_f64(a3);
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float64x2_t vx = vld1q_f64(x + j);
+      vst1q_f64(y0 + j, vaddq_f64(vld1q_f64(y0 + j), vmulq_f64(va0, vx)));
+      vst1q_f64(y1 + j, vaddq_f64(vld1q_f64(y1 + j), vmulq_f64(va1, vx)));
+      vst1q_f64(y2 + j, vaddq_f64(vld1q_f64(y2 + j), vmulq_f64(va2, vx)));
+      vst1q_f64(y3 + j, vaddq_f64(vld1q_f64(y3 + j), vmulq_f64(va3, vx)));
+    }
+    for (; j < n; ++j) {
+      const double v = x[j];
+      y0[j] += a0 * v;
+      y1[j] += a1 * v;
+      y2[j] += a2 * v;
+      y3[j] += a3 * v;
+    }
+  }
+
+  static void Relu(double* x, int n) {
+    // select(x < 0, 0, x): NaN compares false and stays NaN; -0.0 stays.
+    const float64x2_t zero = vdupq_n_f64(0.0);
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float64x2_t vx = vld1q_f64(x + j);
+      const uint64x2_t neg = vcltq_f64(vx, zero);
+      vst1q_f64(x + j, vbslq_f64(neg, zero, vx));
+    }
+    for (; j < n; ++j) x[j] = std::max(x[j], 0.0);
+  }
+
+  static void Mul(const double* a, const double* b, double* out, int n) {
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      vst1q_f64(out + j, vmulq_f64(vld1q_f64(a + j), vld1q_f64(b + j)));
+    }
+    for (; j < n; ++j) out[j] = a[j] * b[j];
+  }
+
+  static void MulMulAdd(const double* a, const double* b, const double* c,
+                        const double* d, double* out, int n) {
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float64x2_t ab = vmulq_f64(vld1q_f64(a + j), vld1q_f64(b + j));
+      const float64x2_t cd = vmulq_f64(vld1q_f64(c + j), vld1q_f64(d + j));
+      vst1q_f64(out + j, vaddq_f64(ab, cd));
+    }
+    for (; j < n; ++j) out[j] = a[j] * b[j] + c[j] * d[j];
+  }
+
+  static void Blend(const double* z, const double* a, const double* b,
+                    double* out, int n) {
+    const float64x2_t one = vdupq_n_f64(1.0);
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float64x2_t vz = vld1q_f64(z + j);
+      const float64x2_t left =
+          vmulq_f64(vsubq_f64(one, vz), vld1q_f64(a + j));
+      const float64x2_t right = vmulq_f64(vz, vld1q_f64(b + j));
+      vst1q_f64(out + j, vaddq_f64(left, right));
+    }
+    for (; j < n; ++j) out[j] = (1.0 - z[j]) * a[j] + z[j] * b[j];
+  }
+
+  static void NormApply(const double* x, double mu, double inv_sigma,
+                        const double* g, const double* b, double* out,
+                        int n) {
+    const float64x2_t vmu = vdupq_n_f64(mu);
+    const float64x2_t vinv = vdupq_n_f64(inv_sigma);
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float64x2_t xhat =
+          vmulq_f64(vsubq_f64(vld1q_f64(x + j), vmu), vinv);
+      vst1q_f64(out + j, vaddq_f64(vmulq_f64(vld1q_f64(g + j), xhat),
+                                   vld1q_f64(b + j)));
+    }
+    for (; j < n; ++j) out[j] = g[j] * ((x[j] - mu) * inv_sigma) + b[j];
+  }
+
+  static void RowMax(const double* x, double* best, int n) {
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float64x2_t vx = vld1q_f64(x + j);
+      const float64x2_t vb = vld1q_f64(best + j);
+      const uint64x2_t gt = vcgtq_f64(vx, vb);  // false on NaN/equal
+      vst1q_f64(best + j, vbslq_f64(gt, vx, vb));
+    }
+    for (; j < n; ++j) {
+      if (x[j] > best[j]) best[j] = x[j];
+    }
+  }
+
+  static double MaxAbs(const double* x, int n) {
+    float64x2_t vm = vdupq_n_f64(0.0);
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float64x2_t va = vabsq_f64(vld1q_f64(x + j));
+      const uint64x2_t gt = vcgtq_f64(va, vm);  // NaN lanes keep vm
+      vm = vbslq_f64(gt, va, vm);
+    }
+    double m = vgetq_lane_f64(vm, 0);
+    const double m1 = vgetq_lane_f64(vm, 1);
+    if (m1 > m) m = m1;
+    for (; j < n; ++j) {
+      const double a = std::fabs(x[j]);
+      if (a > m) m = a;
+    }
+    return m;
+  }
+
+  static void Quantize(const double* x, double inv_scale, std::int8_t* q,
+                       int n) {
+    const float64x2_t vinv = vdupq_n_f64(inv_scale);
+    const float64x2_t lo = vdupq_n_f64(-127.0);
+    const float64x2_t hi = vdupq_n_f64(127.0);
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      float64x2_t r = vmulq_f64(vld1q_f64(x + j), vinv);
+      // select(r >= -127, r, -127): NaN saturates low, as in scalar.
+      r = vbslq_f64(vcgeq_f64(r, lo), r, lo);
+      r = vbslq_f64(vcleq_f64(r, hi), r, hi);
+      const int64x2_t vi = vcvtnq_s64_f64(r);  // nearest-even, as lrint
+      q[j] = static_cast<std::int8_t>(vgetq_lane_s64(vi, 0));
+      q[j + 1] = static_cast<std::int8_t>(vgetq_lane_s64(vi, 1));
+    }
+    for (; j < n; ++j) {
+      double r = x[j] * inv_scale;
+      r = r >= -127.0 ? r : -127.0;
+      r = r <= 127.0 ? r : 127.0;
+      q[j] = static_cast<std::int8_t>(std::lrint(r));
+    }
+  }
+
+  static void QGemm(const std::int8_t* a, int lda, const std::int8_t* w,
+                    std::int32_t* c, int m, int k, int n) {
+    // Register-blocked over j like the AVX2 kernel: an 8-column int32
+    // accumulator block (2 q-registers) stays live across the whole k
+    // loop. Products are exact in int16 lanes (|a*w| <= 16129 < 32767);
+    // integer accumulation order is irrelevant to the result.
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      for (int i = 0; i < m; ++i) {
+        const std::int8_t* arow = a + static_cast<std::size_t>(i) * lda;
+        std::int32_t* crow = c + static_cast<std::size_t>(i) * n + j;
+        int32x4_t acc0 = vld1q_s32(crow);
+        int32x4_t acc1 = vld1q_s32(crow + 4);
+        for (int p = 0; p < k; ++p) {
+          const std::int8_t av = arow[p];
+          if (av == 0) continue;
+          const int16x8_t va = vdupq_n_s16(av);
+          const int16x8_t w16 = vmovl_s8(
+              vld1_s8(w + static_cast<std::size_t>(p) * n + j));
+          const int16x8_t prod = vmulq_s16(w16, va);
+          acc0 = vaddq_s32(acc0, vmovl_s16(vget_low_s16(prod)));
+          acc1 = vaddq_s32(acc1, vmovl_s16(vget_high_s16(prod)));
+        }
+        vst1q_s32(crow, acc0);
+        vst1q_s32(crow + 4, acc1);
+      }
+    }
+    // Column tail: plain scalar triple loop over the remaining j.
+    if (j < n) {
+      for (int i = 0; i < m; ++i) {
+        const std::int8_t* arow = a + static_cast<std::size_t>(i) * lda;
+        std::int32_t* crow = c + static_cast<std::size_t>(i) * n;
+        for (int p = 0; p < k; ++p) {
+          const std::int32_t av = arow[p];
+          if (av == 0) continue;
+          const std::int8_t* wrow = w + static_cast<std::size_t>(p) * n;
+          for (int jj = j; jj < n; ++jj) {
+            crow[jj] += av * static_cast<std::int32_t>(wrow[jj]);
+          }
+        }
+      }
+    }
+  }
+
+  static void Dequant(const std::int32_t* acc, const double* scale,
+                      const double* bias, double* out, int n) {
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float64x2_t vd = vcvtq_f64_s64(vmovl_s32(vld1_s32(acc + j)));
+      vst1q_f64(out + j, vaddq_f64(vmulq_f64(vd, vld1q_f64(scale + j)),
+                                   vld1q_f64(bias + j)));
+    }
+    for (; j < n; ++j) {
+      out[j] = static_cast<double>(acc[j]) * scale[j] + bias[j];
+    }
+  }
+};
+
+}  // namespace dlner::simd
+
+#endif  // DLNER_TENSOR_SIMD_KERNELS_NEON_H_

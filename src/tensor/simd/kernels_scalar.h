@@ -1,0 +1,185 @@
+// Scalar reference implementation of the SIMD primitive set.
+//
+// The per-element arithmetic here IS the contract: every vector ISA
+// (kernels_avx2.h, kernels_neon.h) must produce bit-identical results,
+// element for element, which the differential suite enforces by comparing
+// simd::Active against simd::Scalar over random shapes. Practical rules
+// that follow (docs/PERFORMANCE.md, "SIMD & quantization"):
+//
+//  * Multiplies and adds stay separate operations — never FMA — because
+//    the whole tree builds with -ffp-contract=off and the planned-vs-eager
+//    bit-identity contract depends on it.
+//  * Additive reductions keep their exact order; only max-based reductions
+//    (RowMax, MaxAbs), which are exact in any evaluation order, may be
+//    reassociated by a vector ISA.
+//  * Comparison-select semantics (Relu, RowMax, clamps) are part of the
+//    contract, including NaN and signed-zero behavior: each primitive
+//    documents the exact scalar expression vector code must reproduce.
+//  * Transcendentals (tanh, exp) never appear here — they stay scalar
+//    libm calls in the kernels so every ISA shares the same results.
+//
+// Unless noted otherwise, `out` may alias an input pointer at the SAME
+// element offset (in-place update); partially overlapping buffers are not
+// allowed.
+#ifndef DLNER_TENSOR_SIMD_KERNELS_SCALAR_H_
+#define DLNER_TENSOR_SIMD_KERNELS_SCALAR_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+// Keep the reference truly scalar: without this, -march=native lets the
+// compiler auto-vectorize these loops into the same code as the explicit
+// ISA kernels, and both the simd-vs-scalar differential suite and the
+// bench.simd_speedup series would be comparing SIMD against SIMD.
+// Auto-vectorization is value-preserving (we build with -ffp-contract=off
+// and without -ffast-math), so disabling it cannot change results — only
+// make the scalar fallback honest about its cost.
+#if defined(__GNUC__) && !defined(__clang__)
+#define DLNER_SIMD_SCALAR_ONLY \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define DLNER_SIMD_SCALAR_ONLY
+#endif
+
+namespace dlner::simd {
+
+struct Scalar {
+  static constexpr const char* kName = "scalar";
+
+  // y[j] += a * x[j]
+  DLNER_SIMD_SCALAR_ONLY
+  static void Axpy(double a, const double* x, double* y, int n) {
+    for (int j = 0; j < n; ++j) y[j] += a * x[j];
+  }
+
+  // Four independent output rows sharing one streamed x row:
+  // yi[j] += ai * x[j]. Exactly equivalent to four Axpy calls (each row
+  // accumulates independently); exists so vector ISAs can reuse the loaded
+  // x registers across all four rows (the GEMM register tile).
+  DLNER_SIMD_SCALAR_ONLY
+  static void Axpy4(double a0, double a1, double a2, double a3,
+                    const double* x, double* y0, double* y1, double* y2,
+                    double* y3, int n) {
+    for (int j = 0; j < n; ++j) {
+      const double v = x[j];
+      y0[j] += a0 * v;
+      y1[j] += a1 * v;
+      y2[j] += a2 * v;
+      y3[j] += a3 * v;
+    }
+  }
+
+  // x[j] = (x[j] < 0 ? 0 : x[j])  — std::max(x, 0.0): NaN stays NaN,
+  // -0.0 stays -0.0.
+  DLNER_SIMD_SCALAR_ONLY
+  static void Relu(double* x, int n) {
+    for (int j = 0; j < n; ++j) x[j] = std::max(x[j], 0.0);
+  }
+
+  // out[j] = a[j] * b[j]
+  DLNER_SIMD_SCALAR_ONLY
+  static void Mul(const double* a, const double* b, double* out, int n) {
+    for (int j = 0; j < n; ++j) out[j] = a[j] * b[j];
+  }
+
+  // out[j] = a[j]*b[j] + c[j]*d[j]  (the LSTM cell update f*c + i*g)
+  DLNER_SIMD_SCALAR_ONLY
+  static void MulMulAdd(const double* a, const double* b, const double* c,
+                        const double* d, double* out, int n) {
+    for (int j = 0; j < n; ++j) out[j] = a[j] * b[j] + c[j] * d[j];
+  }
+
+  // out[j] = (1 - z[j]) * a[j] + z[j] * b[j]  (the GRU interpolation)
+  DLNER_SIMD_SCALAR_ONLY
+  static void Blend(const double* z, const double* a, const double* b,
+                    double* out, int n) {
+    for (int j = 0; j < n; ++j) {
+      out[j] = (1.0 - z[j]) * a[j] + z[j] * b[j];
+    }
+  }
+
+  // out[j] = g[j] * ((x[j] - mu) * inv_sigma) + b[j]  (LayerNorm epilogue)
+  DLNER_SIMD_SCALAR_ONLY
+  static void NormApply(const double* x, double mu, double inv_sigma,
+                        const double* g, const double* b, double* out,
+                        int n) {
+    for (int j = 0; j < n; ++j) {
+      out[j] = g[j] * ((x[j] - mu) * inv_sigma) + b[j];
+    }
+  }
+
+  // best[j] = (x[j] > best[j] ? x[j] : best[j]): NaN x never replaces,
+  // equal values (incl. ±0) keep best.
+  DLNER_SIMD_SCALAR_ONLY
+  static void RowMax(const double* x, double* best, int n) {
+    for (int j = 0; j < n; ++j) {
+      if (x[j] > best[j]) best[j] = x[j];
+    }
+  }
+
+  // max_j |x[j]|, at least 0.0. Max reductions are exact in any order, so
+  // vector ISAs may split lanes; NaN elements are ignored.
+  DLNER_SIMD_SCALAR_ONLY
+  static double MaxAbs(const double* x, int n) {
+    double m = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double a = std::fabs(x[j]);
+      if (a > m) m = a;
+    }
+    return m;
+  }
+
+  // q[j] = int8(nearest-even-round(clamp(x[j] * inv_scale, ±127))).
+  // The clamp is exactly (r >= -127 ? r : -127) then (r <= 127 ? r : 127),
+  // so NaN products saturate to -127; rounding is the default FP
+  // environment's nearest-even (std::lrint == cvtpd round-to-nearest).
+  DLNER_SIMD_SCALAR_ONLY
+  static void Quantize(const double* x, double inv_scale, std::int8_t* q,
+                       int n) {
+    for (int j = 0; j < n; ++j) {
+      double r = x[j] * inv_scale;
+      r = r >= -127.0 ? r : -127.0;
+      r = r <= 127.0 ? r : 127.0;
+      q[j] = static_cast<std::int8_t>(std::lrint(r));
+    }
+  }
+
+  // c[m,n] += a[m,k] . w[k,n] in int32, rows of `a` being `lda` apart (the
+  // conv kernel reads sliding windows in place). Integer arithmetic is
+  // exact, so unlike the f32 GEMM there is no accumulation-order contract:
+  // ISAs are free to register-block the loop nest (the whole point of
+  // making the full kernel a primitive — int32 accumulators can live in
+  // registers across the k loop instead of round-tripping to memory per
+  // step). The zero-skip is pure speed: quantized ReLU activations are
+  // mostly zeros.
+  DLNER_SIMD_SCALAR_ONLY
+  static void QGemm(const std::int8_t* a, int lda, const std::int8_t* w,
+                    std::int32_t* c, int m, int k, int n) {
+    for (int i = 0; i < m; ++i) {
+      const std::int8_t* arow = a + static_cast<std::size_t>(i) * lda;
+      std::int32_t* crow = c + static_cast<std::size_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const std::int32_t av = arow[p];
+        if (av == 0) continue;
+        const std::int8_t* wrow = w + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) {
+          crow[j] += av * static_cast<std::int32_t>(wrow[j]);
+        }
+      }
+    }
+  }
+
+  // out[j] = double(acc[j]) * scale[j] + bias[j]  (int32 -> f64 is exact)
+  DLNER_SIMD_SCALAR_ONLY
+  static void Dequant(const std::int32_t* acc, const double* scale,
+                      const double* bias, double* out, int n) {
+    for (int j = 0; j < n; ++j) {
+      out[j] = static_cast<double>(acc[j]) * scale[j] + bias[j];
+    }
+  }
+};
+
+}  // namespace dlner::simd
+
+#endif  // DLNER_TENSOR_SIMD_KERNELS_SCALAR_H_

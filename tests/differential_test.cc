@@ -2,16 +2,23 @@
 // dynamic-programming fast path is pitted against a naive reference or a
 // brute-force oracle from tests/support/. See docs/TESTING.md.
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/model.h"
+#include "core/pipeline.h"
 #include "support/corpus_gen.h"
 #include "support/oracles.h"
 #include "support/reference_kernels.h"
+#include "tensor/arena.h"
+#include "tensor/batched.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
+#include "tensor/simd/simd.h"
 #include "text/tagging.h"
 
 namespace dlner {
@@ -386,6 +393,262 @@ TEST(PlanDifferentialTest, PlannedMatchesEagerWithHybridFeatures) {
   for (size_t i = 0; i < eager.size(); ++i) {
     EXPECT_EQ(planned[i], eager[i]) << "sentence " << i;
   }
+}
+
+// --- Explicit SIMD kernels vs the scalar reference ------------------------
+//
+// The contract (src/tensor/simd/kernels_scalar.h) is bit-identity, not
+// tolerance: simd::Active must reproduce simd::Scalar element for element.
+// When the tree is built with DLNER_SIMD=scalar, Active IS Scalar and these
+// tests pass trivially; on avx2/neon builds they pit the hand-vectorized
+// kernels against the (auto-vectorization-disabled) scalar loops.
+
+template <typename T>
+void ExpectBitEqual(const std::vector<T>& simd_out,
+                    const std::vector<T>& scalar_out, const char* what) {
+  ASSERT_EQ(simd_out.size(), scalar_out.size()) << what;
+  for (std::size_t i = 0; i < simd_out.size(); ++i) {
+    ASSERT_EQ(simd_out[i], scalar_out[i]) << what << " element " << i;
+  }
+}
+
+std::vector<Float> CopyOf(const Tensor& t) {
+  return std::vector<Float>(t.data(), t.data() + t.size());
+}
+
+TEST(SimdDifferentialTest, GemmAccumMatchesScalarBitExactly) {
+  Rng rng(4001);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int m = rng.UniformInt(1, 33);
+    const int k = rng.UniformInt(1, 70);
+    const int n = rng.UniformInt(1, 40);  // crosses vector-width boundaries
+    // Injected zeros exercise the zero-skip branch, which must stay in both
+    // instantiations (skipping a*0 is not bit-neutral in f64).
+    const Tensor a = RandomTensor({m, k}, &rng, -2.0, 2.0, /*zero_prob=*/0.3);
+    const Tensor b = RandomTensor({k, n}, &rng, -2.0, 2.0);
+    const Tensor c0 = RandomTensor({m, n}, &rng, -1.0, 1.0);
+    std::vector<Float> c_simd = CopyOf(c0);
+    std::vector<Float> c_scalar = CopyOf(c0);
+    gemm::GemmAccum<simd::Active>(a.data(), b.data(), c_simd.data(), m, k, n);
+    gemm::GemmAccum<simd::Scalar>(a.data(), b.data(), c_scalar.data(), m, k,
+                                  n);
+    ExpectBitEqual(c_simd, c_scalar, "GemmAccum");
+
+    // Strided rows (the conv kernel's in-place window reads).
+    const int lda = k + rng.UniformInt(0, 6);
+    const Tensor aw = RandomTensor({m, lda}, &rng, -2.0, 2.0, 0.3);
+    std::vector<Float> cs_simd = CopyOf(c0);
+    std::vector<Float> cs_scalar = CopyOf(c0);
+    gemm::GemmAccumStrided<simd::Active>(aw.data(), lda, b.data(),
+                                         cs_simd.data(), m, k, n);
+    gemm::GemmAccumStrided<simd::Scalar>(aw.data(), lda, b.data(),
+                                         cs_scalar.data(), m, k, n);
+    ExpectBitEqual(cs_simd, cs_scalar, "GemmAccumStrided");
+  }
+}
+
+batched::BatchLayout RandomRaggedLayout(Rng* rng) {
+  // At least one non-empty segment, plus a mix that lands empty and
+  // truncated segments everywhere in the packed buffer.
+  batched::BatchLayout layout;
+  layout.Add(rng->UniformInt(1, 9));
+  const int extra = rng->UniformInt(0, 5);
+  for (int s = 0; s < extra; ++s) {
+    layout.Add(rng->Bernoulli(0.25) ? 0 : rng->UniformInt(1, 9));
+  }
+  return layout;
+}
+
+TEST(SimdDifferentialTest, BatchedKernelsMatchScalarOnRaggedMixes) {
+  Rng rng(4003);
+  for (int trial = 0; trial < 12; ++trial) {
+    const batched::BatchLayout layout = RandomRaggedLayout(&rng);
+    const int rows = layout.rows();
+    const int d = rng.UniformInt(1, 12);
+    const int n = rng.UniformInt(1, 12);
+    const Tensor x = RandomTensor({rows, d}, &rng, -1.5, 1.5, 0.2);
+
+    {
+      const Tensor w = RandomTensor({d, n}, &rng, -1.5, 1.5);
+      const Tensor b = RandomTensor({n}, &rng, -1.0, 1.0);
+      std::vector<Float> o_simd(static_cast<std::size_t>(rows) * n);
+      std::vector<Float> o_scalar(o_simd.size());
+      batched::AffineT<simd::Active>(x.data(), rows, w, b, o_simd.data(),
+                                     batched::Act::kRelu);
+      batched::AffineT<simd::Scalar>(x.data(), rows, w, b, o_scalar.data(),
+                                     batched::Act::kRelu);
+      ExpectBitEqual(o_simd, o_scalar, "AffineT");
+    }
+    {
+      const int dilation = 1 + trial % 3;
+      const Tensor w = RandomTensor({3 * d, n}, &rng, -1.5, 1.5);
+      const Tensor b = RandomTensor({n}, &rng, -1.0, 1.0);
+      std::vector<Float> o_simd(static_cast<std::size_t>(rows) * n);
+      std::vector<Float> o_scalar(o_simd.size());
+      batched::ConvSegmentsT<simd::Active>(x.data(), d, layout, 3, dilation,
+                                           w, b, o_simd.data(),
+                                           batched::Act::kRelu);
+      batched::ConvSegmentsT<simd::Scalar>(x.data(), d, layout, 3, dilation,
+                                           w, b, o_scalar.data(),
+                                           batched::Act::kRelu);
+      ExpectBitEqual(o_simd, o_scalar, "ConvSegmentsT");
+    }
+    {
+      const Tensor gain = RandomTensor({d}, &rng, 0.5, 1.5);
+      const Tensor bias = RandomTensor({d}, &rng, -0.5, 0.5);
+      std::vector<Float> o_simd(static_cast<std::size_t>(rows) * d);
+      std::vector<Float> o_scalar(o_simd.size());
+      batched::LayerNormRowsT<simd::Active>(x.data(), rows, d, gain, bias,
+                                            o_simd.data());
+      batched::LayerNormRowsT<simd::Scalar>(x.data(), rows, d, gain, bias,
+                                            o_scalar.data());
+      ExpectBitEqual(o_simd, o_scalar, "LayerNormRowsT");
+    }
+    {
+      std::vector<Float> o_simd(static_cast<std::size_t>(rows) * 2 * d);
+      std::vector<Float> o_scalar(o_simd.size());
+      batched::GlobalMaxConcatT<simd::Active>(x.data(), d, layout,
+                                              o_simd.data());
+      batched::GlobalMaxConcatT<simd::Scalar>(x.data(), d, layout,
+                                              o_scalar.data());
+      ExpectBitEqual(o_simd, o_scalar, "GlobalMaxConcatT");
+    }
+    {
+      const int hidden = rng.UniformInt(1, 6);
+      const Tensor wf = RandomTensor({d + hidden, 4 * hidden}, &rng, -1, 1);
+      const Tensor bf = RandomTensor({4 * hidden}, &rng, -0.5, 0.5);
+      const Tensor wb = RandomTensor({d + hidden, 4 * hidden}, &rng, -1, 1);
+      const Tensor bb = RandomTensor({4 * hidden}, &rng, -0.5, 0.5);
+      const batched::LstmDir fwd{&wf, &bf}, bwd{&wb, &bb};
+      std::vector<Float> o_simd(static_cast<std::size_t>(rows) * 2 * hidden);
+      std::vector<Float> o_scalar(o_simd.size());
+      Arena arena;
+      batched::BiLstmT<simd::Active>(x.data(), d, hidden, layout, fwd, bwd,
+                                     o_simd.data(), &arena);
+      arena.Reset();
+      batched::BiLstmT<simd::Scalar>(x.data(), d, hidden, layout, fwd, bwd,
+                                     o_scalar.data(), &arena);
+      ExpectBitEqual(o_simd, o_scalar, "BiLstmT");
+    }
+    {
+      const int hidden = rng.UniformInt(1, 6);
+      const Tensor rzwf = RandomTensor({d + hidden, 2 * hidden}, &rng, -1, 1);
+      const Tensor rzbf = RandomTensor({2 * hidden}, &rng, -0.5, 0.5);
+      const Tensor cwf = RandomTensor({d + hidden, hidden}, &rng, -1, 1);
+      const Tensor cbf = RandomTensor({hidden}, &rng, -0.5, 0.5);
+      const Tensor rzwb = RandomTensor({d + hidden, 2 * hidden}, &rng, -1, 1);
+      const Tensor rzbb = RandomTensor({2 * hidden}, &rng, -0.5, 0.5);
+      const Tensor cwb = RandomTensor({d + hidden, hidden}, &rng, -1, 1);
+      const Tensor cbb = RandomTensor({hidden}, &rng, -0.5, 0.5);
+      const batched::GruDir fwd{&rzwf, &rzbf, &cwf, &cbf};
+      const batched::GruDir bwd{&rzwb, &rzbb, &cwb, &cbb};
+      std::vector<Float> o_simd(static_cast<std::size_t>(rows) * 2 * hidden);
+      std::vector<Float> o_scalar(o_simd.size());
+      Arena arena;
+      batched::BiGruT<simd::Active>(x.data(), d, hidden, layout, fwd, bwd,
+                                    o_simd.data(), &arena);
+      arena.Reset();
+      batched::BiGruT<simd::Scalar>(x.data(), d, hidden, layout, fwd, bwd,
+                                    o_scalar.data(), &arena);
+      ExpectBitEqual(o_simd, o_scalar, "BiGruT");
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, QuantizedKernelsMatchScalarExactly) {
+  // Int8 path: quantize -> int32 GEMM -> f64 dequant. Integer results are
+  // exactly equal across ISAs by arithmetic (not just by ordering
+  // discipline), and the f64 epilogue follows the bit-identity contract.
+  Rng rng(4007);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int rows = rng.UniformInt(1, 20);
+    const int k = rng.UniformInt(1, 40);
+    const int n = rng.UniformInt(1, 40);
+    const Tensor x = RandomTensor({rows, k}, &rng, -3.0, 3.0, 0.4);
+    const Tensor w = RandomTensor({k, n}, &rng, -1.5, 1.5);
+    const Tensor b = RandomTensor({n}, &rng, -1.0, 1.0);
+    const quant::QuantizedMatrix qm = quant::QuantizeMatrix(w, 3.0);
+
+    std::vector<std::int8_t> q_simd(static_cast<std::size_t>(rows) * k);
+    std::vector<std::int8_t> q_scalar(q_simd.size());
+    simd::Active::Quantize(x.data(), qm.act_inv_scale, q_simd.data(),
+                           rows * k);
+    simd::Scalar::Quantize(x.data(), qm.act_inv_scale, q_scalar.data(),
+                           rows * k);
+    ExpectBitEqual(q_simd, q_scalar, "Quantize");
+
+    std::vector<std::int32_t> acc_simd(static_cast<std::size_t>(rows) * n, 0);
+    std::vector<std::int32_t> acc_scalar(acc_simd.size(), 0);
+    simd::Active::QGemm(q_scalar.data(), k, qm.q.data(), acc_simd.data(),
+                        rows, k, n);
+    simd::Scalar::QGemm(q_scalar.data(), k, qm.q.data(), acc_scalar.data(),
+                        rows, k, n);
+    ExpectBitEqual(acc_simd, acc_scalar, "QGemm");
+
+    std::vector<Float> d_simd(n), d_scalar(n);
+    simd::Active::Dequant(acc_scalar.data(), qm.dequant.data(), b.data(),
+                          d_simd.data(), n);
+    simd::Scalar::Dequant(acc_scalar.data(), qm.dequant.data(), b.data(),
+                          d_scalar.data(), n);
+    ExpectBitEqual(d_simd, d_scalar, "Dequant");
+
+    std::vector<Float> o_simd(static_cast<std::size_t>(rows) * n);
+    std::vector<Float> o_scalar(o_simd.size());
+    quant::QAffineT<simd::Active>(x.data(), rows, qm, b, o_simd.data(),
+                                  batched::Act::kRelu);
+    quant::QAffineT<simd::Scalar>(x.data(), rows, qm, b, o_scalar.data(),
+                                  batched::Act::kRelu);
+    ExpectBitEqual(o_simd, o_scalar, "QAffineT");
+  }
+
+  // Fused quantized convolution over ragged layouts (empty segments, window
+  // clipping at segment boundaries).
+  for (int trial = 0; trial < 8; ++trial) {
+    const batched::BatchLayout layout = RandomRaggedLayout(&rng);
+    const int rows = layout.rows();
+    const int d = rng.UniformInt(1, 10);
+    const int n = rng.UniformInt(1, 10);
+    const int dilation = 1 + trial % 3;
+    const Tensor x = RandomTensor({rows, d}, &rng, -2.0, 2.0, 0.3);
+    const Tensor w = RandomTensor({3 * d, n}, &rng, -1.5, 1.5);
+    const Tensor b = RandomTensor({n}, &rng, -1.0, 1.0);
+    const quant::QuantizedMatrix qm = quant::QuantizeMatrix(w, 2.0);
+    std::vector<Float> o_simd(static_cast<std::size_t>(rows) * n);
+    std::vector<Float> o_scalar(o_simd.size());
+    quant::QConvSegmentsT<simd::Active>(x.data(), d, layout, 3, dilation, qm,
+                                        b, o_simd.data(),
+                                        batched::Act::kRelu);
+    quant::QConvSegmentsT<simd::Scalar>(x.data(), d, layout, 3, dilation, qm,
+                                        b, o_scalar.data(),
+                                        batched::Act::kRelu);
+    ExpectBitEqual(o_simd, o_scalar, "QConvSegmentsT");
+  }
+}
+
+// --- Int8 quantized inference vs the f32 planned path ---------------------
+
+TEST(QuantDifferentialTest, QuantizedInferenceWithinF1BoundOfF32) {
+  // Post-training quantization accuracy contract: micro-F1 within 0.2
+  // points of the f32 planned path. The model must actually be trained —
+  // an undertrained model's argmax margins are small enough that int8
+  // rounding flips predictions and the bound fails for reasons that say
+  // nothing about the quantization scheme.
+  const text::Corpus corpus = testsup::SmallCorpus("conll-like", 60, 95);
+  const std::vector<std::string> types = EntityTypesOf(corpus);
+  core::TrainConfig tc;
+  tc.epochs = 12;
+  tc.lr = 0.02;
+  auto pipeline = core::Pipeline::Train(TinyConfig("cnn", "softmax", 31), tc,
+                                        corpus, nullptr, types);
+  core::NerModel* model = pipeline->model();
+  model->set_plan_inference(true);
+  const double f32_f1 = model->Evaluate(corpus).micro.f1();
+  ASSERT_GT(model->CalibrateQuantization(corpus), 0);
+  model->set_quantized_inference(true);
+  ASSERT_TRUE(model->has_quant_calibration());
+  const double int8_f1 = model->Evaluate(corpus).micro.f1();
+  EXPECT_LE(std::fabs(f32_f1 - int8_f1), 0.002)
+      << "f32 micro-F1 " << f32_f1 << " vs int8 micro-F1 " << int8_f1;
 }
 
 TEST(PlanDifferentialTest, PlannedEvaluateMatchesEagerEvaluate) {
