@@ -71,6 +71,15 @@ struct NerConfig {
   /// Like `threads`, an execution knob — deliberately NOT serialized.
   bool plan_inference = true;
 
+  /// Enables document-level entity-consistency state in the streaming
+  /// tagger (src/stream/): spans emitted earlier in a document bias the
+  /// tagging of later exact surface repetitions (majority-vote type memory,
+  /// survey's document-level-context thread). Off, the streaming path is
+  /// bit-identical to sentence-at-a-time TagCorpus. Consulted only by
+  /// stream::StreamTagger as its default; sentence-level APIs ignore it.
+  /// Like `threads`, an execution knob — deliberately NOT serialized.
+  bool doc_context = false;
+
   /// Routes planned inference through the int8 quantized kernels
   /// (tensor/quant.h) when a quantization calibration has been installed
   /// on the model (NerModel::SetQuantCalibration, typically loaded from

@@ -61,6 +61,7 @@ class Pipeline {
   static std::unique_ptr<Pipeline> Load(std::istream& is);
 
   NerModel* model() { return model_.get(); }
+  const NerModel* model() const { return model_.get(); }
   const TrainResult& train_result() const { return train_result_; }
 
   /// The resources the model was built with (borrowed at Train time, owned

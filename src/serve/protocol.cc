@@ -339,6 +339,13 @@ bool ParseRequest(const std::string& line, Request* out, std::string* error,
     out->tokens = tokens->second.arr;
     fields.erase(tokens);
   }
+  if (const auto doc = fields.find("doc"); doc != fields.end()) {
+    if (doc->second.kind != JsonValue::Kind::kBool) {
+      return SemanticFail("\"doc\" must be a boolean", error, code);
+    }
+    out->doc = doc->second.b;
+    fields.erase(doc);
+  }
   if (!fields.empty()) {
     return SemanticFail("unknown field \"" + fields.begin()->first + "\"",
                         error, code);
@@ -395,7 +402,8 @@ std::string TagResponse(const Request& req, bool cached,
   std::string out = "{";
   if (req.has_id) out += "\"id\":" + std::to_string(req.id) + ",";
   out += "\"model\":" + JsonQuote(req.model) +
-         ",\"cached\":" + (cached ? "true" : "false") + "," + payload + "}";
+         ",\"cached\":" + (cached ? "true" : "false") +
+         (req.doc ? ",\"doc\":true" : "") + "," + payload + "}";
   return out;
 }
 

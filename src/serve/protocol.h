@@ -9,6 +9,13 @@
 //
 // Tagging request   {"id":7,"model":"default","text":"John visited Paris"}
 //                   {"id":8,"tokens":["John","visited","Paris"]}
+//                   {"id":9,"doc":true,"tokens":["Li","spoke","."]}
+//
+// "doc":true marks the request as part of the connection's current
+// document: the response reflects (and updates) the per-connection
+// entity-consistency memory (stream/entity_memory.h), and is echoed with a
+// "doc":true marker. Document requests bypass the response cache — their
+// answer depends on connection state, not just (model, tokens).
 // Admin request     {"cmd":"reload","model":"default","path":"new.bin"}
 //                   {"cmd":"models"} {"cmd":"stats"} {"cmd":"shutdown"}
 // Tagging response  {"id":7,"model":"default","cached":false,
@@ -47,6 +54,8 @@ struct Request {
   std::int64_t id = 0;
   std::string model = "default";
   std::vector<std::string> tokens;  // kTag ("text" is whitespace-tokenized)
+  /// kTag: part of the connection's current document (doc-context state).
+  bool doc = false;
   std::string cmd;                  // kAdmin: reload|models|stats|shutdown
   std::string path;                 // kAdmin reload: checkpoint to load
 };

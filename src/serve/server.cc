@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "stream/entity_memory.h"
 
 namespace dlner::serve {
 
@@ -29,6 +30,14 @@ struct Server::Conn {
   const int fd;
   std::mutex write_mu;  // serializes response lines
   std::atomic<bool> dead{false};
+
+  // Document state for "doc":true requests: the connection IS the document.
+  // Lives on the connection (not the model entry), so a hot reload
+  // mid-document swaps the model without touching accumulated entity
+  // votes. Guarded by doc_mu; the single batcher thread executes batches
+  // sequentially, so per-connection request order is preserved.
+  std::mutex doc_mu;
+  stream::EntityMemory doc_memory;
 };
 
 Server::Server(ModelRegistry* registry, const ServeConfig& config)
@@ -184,21 +193,25 @@ void Server::HandleLine(const std::shared_ptr<Conn>& conn,
     return;
   }
 
-  const std::string key =
-      LruCache::Key(req.model, entry.generation, req.tokens);
-  std::string payload;
-  if (cache_.Get(key, &payload)) {
-    cache_hits_.fetch_add(1);
-    responses_.fetch_add(1);
-    if (obs::MetricsEnabled()) {
-      obs::Metrics::Get()
-          .histogram("serve.request.latency_us")
-          ->Observe(static_cast<double>(obs::NowMicros() - arrival_us));
+  // Document requests never consult the cache: their answer depends on the
+  // connection's entity memory, not just (model, generation, tokens).
+  if (!req.doc) {
+    const std::string key =
+        LruCache::Key(req.model, entry.generation, req.tokens);
+    std::string payload;
+    if (cache_.Get(key, &payload)) {
+      cache_hits_.fetch_add(1);
+      responses_.fetch_add(1);
+      if (obs::MetricsEnabled()) {
+        obs::Metrics::Get()
+            .histogram("serve.request.latency_us")
+            ->Observe(static_cast<double>(obs::NowMicros() - arrival_us));
+      }
+      WriteLine(conn, TagResponse(req, true, payload));
+      return;
     }
-    WriteLine(conn, TagResponse(req, true, payload));
-    return;
+    cache_misses_.fetch_add(1);
   }
-  cache_misses_.fetch_add(1);
 
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -372,14 +385,24 @@ void Server::ExecuteBatch(std::vector<Pending> batch) {
   // The compiled-plan corpus path (packed ragged micro-batches, arena
   // buffers) — the same code `dlner tag --in` runs, so served responses
   // are bit-identical to the batch CLI.
-  const std::vector<std::vector<text::Span>> spans =
+  std::vector<std::vector<text::Span>> spans =
       entry.pipeline->TagCorpus(corpus);
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Pending& p = batch[i];
+    if (p.request.doc) {
+      // Fold this sentence through the connection's document state, in
+      // batch (= per-connection arrival) order. Doc responses are not
+      // cached: they are functions of connection state.
+      std::lock_guard<std::mutex> lock(p.conn->doc_mu);
+      p.conn->doc_memory.Apply(p.request.tokens, &spans[i]);
+      p.conn->doc_memory.Observe(p.request.tokens, spans[i]);
+    }
     const std::string payload = TagPayload(p.request.tokens, spans[i]);
-    cache_.Put(LruCache::Key(model, entry.generation, p.request.tokens),
-               payload);
+    if (!p.request.doc) {
+      cache_.Put(LruCache::Key(model, entry.generation, p.request.tokens),
+                 payload);
+    }
     responses_.fetch_add(1);
     Respond(p, TagResponse(p.request, false, payload));
   }

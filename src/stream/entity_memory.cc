@@ -1,0 +1,128 @@
+#include "stream/entity_memory.h"
+
+#include <algorithm>
+
+namespace dlner::stream {
+
+std::string EntityMemory::Key(const std::vector<std::string>& tokens,
+                              int start, int end) {
+  // '\x1f' (ASCII unit separator) cannot be produced by the whitespace
+  // tokenizers, so joined keys are unambiguous even for hostile tokens.
+  std::string key;
+  for (int t = start; t < end; ++t) {
+    if (t > start) key.push_back('\x1f');
+    key += tokens[t];
+  }
+  return key;
+}
+
+std::pair<std::string, int> EntityMemory::Majority(const VoteEntry& entry) {
+  std::string best_type;
+  int best_votes = 0;
+  for (const auto& [type, votes] : entry.votes) {
+    if (votes > best_votes) {  // first (lexicographically smallest) wins ties
+      best_type = type;
+      best_votes = votes;
+    }
+  }
+  return {best_type, best_votes};
+}
+
+void EntityMemory::Observe(const std::vector<std::string>& tokens,
+                           const std::vector<text::Span>& spans) {
+  for (const text::Span& sp : spans) {
+    if (sp.start < 0 || sp.end > static_cast<int>(tokens.size()) ||
+        sp.start >= sp.end) {
+      continue;
+    }
+    const int width = sp.end - sp.start;
+    if (width > opts_.max_surface_tokens) continue;
+    std::string key = Key(tokens, sp.start, sp.end);
+    auto it = table_.find(key);
+    if (it == table_.end()) {
+      if (table_.size() >= opts_.max_surfaces) continue;
+      it = table_.emplace(std::move(key), VoteEntry{}).first;
+      it->second.surface_tokens = width;
+    }
+    ++it->second.votes[sp.type];
+    longest_surface_ = std::max(longest_surface_, width);
+  }
+}
+
+void EntityMemory::Apply(const std::vector<std::string>& tokens,
+                         std::vector<text::Span>* spans) const {
+  if (table_.empty()) return;
+  const int n = static_cast<int>(tokens.size());
+
+  // Pass 1: relabel predicted spans whose exact surface has a sufficiently
+  // dominant different type in memory.
+  for (text::Span& sp : *spans) {
+    if (sp.start < 0 || sp.end > n || sp.start >= sp.end) continue;
+    if (sp.end - sp.start > opts_.max_surface_tokens) continue;
+    auto it = table_.find(Key(tokens, sp.start, sp.end));
+    if (it == table_.end()) continue;
+    const auto [major_type, major_votes] = Majority(it->second);
+    if (major_type.empty() || major_type == sp.type) continue;
+    auto own = it->second.votes.find(sp.type);
+    const int own_votes = own == it->second.votes.end() ? 0 : own->second;
+    if (major_votes >= opts_.min_votes_to_relabel &&
+        major_votes >= opts_.relabel_ratio * std::max(own_votes, 1)) {
+      sp.type = major_type;
+    }
+  }
+
+  // Pass 2: inject remembered surfaces the decoder missed. Longest match
+  // first at each position; injected spans never overlap existing or
+  // previously injected ones.
+  std::vector<bool> covered(static_cast<std::size_t>(n), false);
+  for (const text::Span& sp : *spans) {
+    for (int t = std::max(sp.start, 0); t < std::min(sp.end, n); ++t) {
+      covered[static_cast<std::size_t>(t)] = true;
+    }
+  }
+  const int max_width = std::min(longest_surface_, opts_.max_surface_tokens);
+  std::vector<text::Span> injected;
+  for (int start = 0; start < n; ++start) {
+    if (covered[static_cast<std::size_t>(start)]) continue;
+    for (int width = std::min(max_width, n - start); width >= 1; --width) {
+      const int end = start + width;
+      bool blocked = false;
+      for (int t = start; t < end; ++t) {
+        if (covered[static_cast<std::size_t>(t)]) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+      auto it = table_.find(Key(tokens, start, end));
+      if (it == table_.end() || it->second.surface_tokens != width) continue;
+      const auto [major_type, major_votes] = Majority(it->second);
+      if (major_votes < opts_.min_votes_to_inject) continue;
+      injected.push_back(text::Span{start, end, major_type});
+      for (int t = start; t < end; ++t) {
+        covered[static_cast<std::size_t>(t)] = true;
+      }
+      start = end - 1;  // outer loop ++ lands just past the injected span
+      break;
+    }
+  }
+  if (!injected.empty()) {
+    spans->insert(spans->end(), injected.begin(), injected.end());
+    std::sort(spans->begin(), spans->end());
+  }
+}
+
+void EntityMemory::Clear() {
+  table_.clear();
+  longest_surface_ = 0;
+}
+
+std::string EntityMemory::MajorityType(
+    const std::vector<std::string>& surface) const {
+  if (surface.empty()) return "";
+  auto it = table_.find(Key(surface, 0, static_cast<int>(surface.size())));
+  if (it == table_.end()) return "";
+  return Majority(it->second).first;
+}
+
+}  // namespace dlner::stream

@@ -1,0 +1,101 @@
+// Streaming document-level tagger: Feed()/Flush() over raw bytes.
+//
+// StreamTagger glues the incremental tokenizer (text/stream_tokenizer.h) to
+// the compiled-plan batched inference path (Pipeline::TagCorpus) and,
+// optionally, to the entity-consistency cache (entity_memory.h):
+//
+//   raw bytes --Feed()--> StreamTokenizer --> sentences --> pending queue
+//     --(size or deadline reached)--> TagCorpus (plan-batched)
+//     --(doc_context: Apply + Observe per sentence, in order)--> emitted
+//
+// Latency contract (deadline-or-size, mirroring the serve batcher): a
+// completed sentence is tagged as soon as EITHER `flush_sentences` sentences
+// are pending OR the oldest pending sentence has waited `flush_deadline_us`
+// microseconds. The deadline is checked on every Feed/Flush call (the tagger
+// owns no thread), so the bound is "next call after the deadline", which is
+// what a poll-driven caller like the serve loop provides.
+//
+// Determinism: emitted spans are a pure function of the concatenated byte
+// stream. Chunk boundaries, flush timing, and batch grouping cannot change
+// the output, because (a) the tokenizer is chunk-invariant by construction,
+// (b) TagCorpus is bit-identical regardless of batch composition, and (c)
+// the entity memory is applied strictly sequentially per sentence. With
+// doc_context=false the output is bit-identical to calling
+// Pipeline::TagCorpus on the same sentence split.
+#ifndef DLNER_STREAM_STREAM_TAGGER_H_
+#define DLNER_STREAM_STREAM_TAGGER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "stream/entity_memory.h"
+#include "text/stream_tokenizer.h"
+
+namespace dlner::stream {
+
+struct StreamOptions {
+  /// Tag as soon as this many sentences are pending.
+  int flush_sentences = 16;
+  /// ... or as soon as the oldest pending sentence is this old (0 disables
+  /// the deadline; sentences then wait for the size trigger or Flush()).
+  std::uint64_t flush_deadline_us = 50000;
+  /// Force a sentence break after this many tokens (tokenizer cap).
+  int max_sentence_tokens = 512;
+  /// Document-level entity-consistency state. When unset (default -1) the
+  /// pipeline's NerConfig::doc_context decides; 0/1 force off/on.
+  int doc_context = -1;
+  EntityMemoryOptions memory;
+};
+
+/// One tagged sentence emitted by the stream.
+struct TaggedSentence {
+  std::vector<std::string> tokens;
+  std::vector<text::Span> spans;
+};
+
+class StreamTagger {
+ public:
+  /// `pipeline` is borrowed and must outlive the tagger.
+  StreamTagger(const core::Pipeline* pipeline, const StreamOptions& opts = {});
+
+  /// Consumes the next chunk of the document. Returns the sentences whose
+  /// tags became final during this call (possibly none; possibly several).
+  std::vector<TaggedSentence> Feed(std::string_view chunk);
+
+  /// Ends the document: tags everything still pending, including a final
+  /// partial sentence/token. Document state (entity memory) is cleared, so
+  /// the tagger is immediately ready for the next document.
+  std::vector<TaggedSentence> Flush();
+
+  /// True when doc-level state is active for this stream.
+  bool doc_context() const { return doc_context_; }
+
+  /// Sentences tokenized but not yet tagged.
+  int PendingSentences() const { return static_cast<int>(pending_.size()); }
+
+  /// The entity-consistency cache (inspection/tests).
+  const EntityMemory& memory() const { return memory_; }
+
+ private:
+  // Moves completed sentences out of the tokenizer into pending_.
+  void DrainTokenizer();
+  // Tags and emits all pending sentences (no-op when none).
+  void TagPending(std::vector<TaggedSentence>* out);
+  bool DeadlineExpired() const;
+
+  const core::Pipeline* pipeline_;
+  StreamOptions opts_;
+  bool doc_context_ = false;
+
+  text::StreamTokenizer tokenizer_;
+  std::vector<std::vector<std::string>> pending_;
+  std::uint64_t oldest_pending_us_ = 0;  // arrival time of pending_[0]
+  EntityMemory memory_;
+};
+
+}  // namespace dlner::stream
+
+#endif  // DLNER_STREAM_STREAM_TAGGER_H_

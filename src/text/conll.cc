@@ -19,6 +19,7 @@ void WriteConll(std::ostream& os, const Corpus& corpus, const TagSet& tags) {
 
 bool ReadConll(std::istream& is, Corpus* corpus) {
   corpus->sentences.clear();
+  corpus->doc_starts.clear();
   std::vector<std::string> tokens;
   std::vector<std::string> tags;
 
@@ -32,6 +33,7 @@ bool ReadConll(std::istream& is, Corpus* corpus) {
     tags.clear();
   };
 
+  bool saw_docstart = false;
   std::string line;
   while (std::getline(is, line)) {
     // Windows line endings: strip the trailing '\r' before the blank-line
@@ -53,11 +55,35 @@ bool ReadConll(std::istream& is, Corpus* corpus) {
       tag = field;
       ++n_fields;
     }
+    // CoNLL-2003 marks document boundaries with a "-DOCSTART- -X- -X- O"
+    // sentinel row (sometimes bare "-DOCSTART- O"). It is a marker, not a
+    // token: record the boundary and drop the row, otherwise every
+    // document contributes a one-token "-DOCSTART-" sentence that pollutes
+    // the training vocabulary and the tag statistics.
+    if (token == "-DOCSTART-") {
+      flush();
+      saw_docstart = true;
+      const int next = static_cast<int>(corpus->sentences.size());
+      if (corpus->doc_starts.empty() || corpus->doc_starts.back() != next) {
+        corpus->doc_starts.push_back(next);
+      }
+      continue;
+    }
     if (n_fields < 2) return false;
     tokens.push_back(token);
     tags.push_back(tag);
   }
   flush();
+  // A trailing -DOCSTART- with no sentences after it marks no document.
+  if (!corpus->doc_starts.empty() &&
+      corpus->doc_starts.back() >= static_cast<int>(corpus->sentences.size())) {
+    corpus->doc_starts.pop_back();
+  }
+  // Content before the first sentinel forms an implicit leading document.
+  if (saw_docstart && !corpus->doc_starts.empty() &&
+      corpus->doc_starts.front() != 0 && !corpus->sentences.empty()) {
+    corpus->doc_starts.insert(corpus->doc_starts.begin(), 0);
+  }
   return true;
 }
 

@@ -16,6 +16,20 @@ int Corpus::EntityCount() const {
   return n;
 }
 
+int Corpus::DocCount() const {
+  if (!doc_starts.empty()) return static_cast<int>(doc_starts.size());
+  return sentences.empty() ? 0 : 1;
+}
+
+std::pair<int, int> Corpus::DocRange(int doc) const {
+  if (doc_starts.empty()) return {0, size()};
+  const int first = doc_starts[doc];
+  const int last = doc + 1 < static_cast<int>(doc_starts.size())
+                       ? doc_starts[doc + 1]
+                       : size();
+  return {first, last};
+}
+
 bool SpansAreValid(const std::vector<Span>& spans, int num_tokens) {
   for (const Span& sp : spans) {
     if (sp.start < 0 || sp.end > num_tokens || sp.start >= sp.end) return false;

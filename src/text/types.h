@@ -8,6 +8,7 @@
 #define DLNER_TEXT_TYPES_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dlner::text {
@@ -36,15 +37,25 @@ struct Sentence {
   int size() const { return static_cast<int>(tokens.size()); }
 };
 
-/// A collection of annotated sentences.
+/// A collection of annotated sentences, optionally grouped into documents.
 struct Corpus {
   std::vector<Sentence> sentences;
+  /// Sentence indexes that begin a new document (strictly increasing;
+  /// 0 when present). Empty means the grouping is unknown — consumers that
+  /// need documents treat the whole corpus as one. Populated by ReadConll
+  /// from `-DOCSTART-` sentinels and by the document-level scenario
+  /// generators (data/scenarios.h).
+  std::vector<int> doc_starts;
 
   int size() const { return static_cast<int>(sentences.size()); }
   /// Total token count across sentences.
   int TokenCount() const;
   /// Total entity mention count across sentences.
   int EntityCount() const;
+  /// Number of documents (1 for a non-empty corpus without boundaries).
+  int DocCount() const;
+  /// Sentence-index range [first, last) of document `doc`.
+  std::pair<int, int> DocRange(int doc) const;
 };
 
 /// True when the span list is internally consistent for a sentence of

@@ -22,10 +22,12 @@
 
 #include "core/pipeline.h"
 #include "data/dataset.h"
+#include "data/scenarios.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "stream/entity_memory.h"
 
 namespace dlner::serve {
 namespace {
@@ -133,6 +135,42 @@ TEST(ProtocolTest, RejectsMalformedLines) {
     EXPECT_EQ(code, kBadRequest) << bad.why;
     EXPECT_FALSE(error.empty()) << bad.why;
   }
+}
+
+TEST(ProtocolTest, DocFieldParsesAndDefaultsOff) {
+  bool ok = false;
+  Request req = Parse(R"({"doc":true,"tokens":["Li"]})", &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(req.doc);
+  req = Parse(R"({"doc":false,"tokens":["Li"]})", &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_FALSE(req.doc);
+  req = Parse(R"({"tokens":["Li"]})", &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_FALSE(req.doc);
+
+  // Anything non-boolean is a 400, like every other typed field.
+  for (const char* bad :
+       {R"({"doc":1,"tokens":["Li"]})", R"({"doc":"yes","tokens":["Li"]})",
+        R"({"doc":null,"tokens":["Li"]})"}) {
+    std::string error;
+    int code = 0;
+    Parse(bad, &ok, &error, &code);
+    EXPECT_FALSE(ok) << bad;
+    EXPECT_EQ(code, kBadRequest) << bad;
+  }
+}
+
+TEST(ProtocolTest, DocResponsesAreMarked) {
+  Request req;
+  req.has_id = true;
+  req.id = 8;
+  req.model = "ner";
+  req.doc = true;
+  const std::string payload = TagPayload({"Li"}, {{0, 1, "PER"}});
+  EXPECT_EQ(TagResponse(req, false, payload),
+            R"({"id":8,"model":"ner","cached":false,"doc":true,)" + payload +
+                "}");
 }
 
 TEST(ProtocolTest, IdSurvivesSemanticErrors) {
@@ -653,6 +691,178 @@ TEST(ServerTest, HalfClosedSocketStillReceivesResponse) {
   ASSERT_TRUE(after.SendLine(TokensRequest(3, tokens)));
   EXPECT_EQ(after.ReadLine(),
             ExpectedLine(3, "default", true, tokens, m.pipeline1->Tag(tokens)));
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Document-mode requests ({"doc":true}): the connection is the document.
+// Per-connection entity memory folds earlier responses into later ones, doc
+// responses bypass the LRU cache in both directions, and a hot reload swaps
+// the model without touching the connection's document state.
+
+struct DocModels {
+  std::string path1;
+  std::string path2;
+  std::unique_ptr<core::Pipeline> pipeline1;
+  std::unique_ptr<core::Pipeline> pipeline2;
+  text::Corpus docs;  // entity-consistency documents (Corpus::doc_starts)
+};
+
+const DocModels& DocFixture() {
+  static DocModels* models = [] {
+    auto* m = new DocModels;
+    data::ScenarioOptions opts;
+    opts.seed = 41;
+    opts.num_sentences = 60;
+    const data::ScenarioSplit split =
+        data::MakeScenarioSplit(data::Scenario::kEntityConsistency, opts);
+    m->docs = split.test;
+    core::NerConfig config;
+    config.encoder = "cnn";
+    config.decoder = "softmax";
+    config.word_dim = 12;
+    config.hidden_dim = 12;
+    config.word_unk_dropout = 0.2;
+    config.seed = 7;
+    core::TrainConfig tc;
+    tc.epochs = 4;
+    tc.lr = 0.02;
+    const auto types =
+        data::ScenarioEntityTypes(data::Scenario::kEntityConsistency);
+    m->path1 = ::testing::TempDir() + "/serve_doc_model1.bin";
+    m->path2 = ::testing::TempDir() + "/serve_doc_model2.bin";
+    core::Pipeline::Train(config, tc, split.train, nullptr, types)
+        ->Save(m->path1);
+    config.seed = 23;
+    core::Pipeline::Train(config, tc, split.train, nullptr, types)
+        ->Save(m->path2);
+    m->pipeline1 = core::Pipeline::Load(m->path1);
+    m->pipeline2 = core::Pipeline::Load(m->path2);
+    return m;
+  }();
+  return *models;
+}
+
+std::string DocRequest(std::int64_t id,
+                       const std::vector<std::string>& tokens) {
+  std::string s = "{\"id\":" + std::to_string(id) + ",\"doc\":true,\"tokens\":[";
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) s.push_back(',');
+    s += JsonQuote(tokens[i]);
+  }
+  return s + "]}";
+}
+
+std::string ExpectedDocLine(std::int64_t id,
+                            const std::vector<std::string>& tokens,
+                            const std::vector<text::Span>& spans) {
+  Request req;
+  req.has_id = true;
+  req.id = id;
+  req.model = "default";
+  req.doc = true;
+  return TagResponse(req, false, TagPayload(tokens, spans));
+}
+
+TEST(ServerTest, DocRequestsFoldEntityMemoryPerConnection) {
+  const DocModels& m = DocFixture();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", m.path1));
+  ServeConfig config;  // cache ON: doc responses must bypass it anyway
+  Server server(&registry, config);
+  ASSERT_TRUE(server.Start());
+
+  // Every doc response must be byte-identical to the reference fold: tag the
+  // sentence, Apply the connection's memory, Observe the result — strictly
+  // in arrival order. Across the fixture's documents the memory must change
+  // at least one sentence vs. stateless tagging (that is the point of the
+  // feature: a later mention of a remembered surface gets recovered).
+  bool memory_changed_something = false;
+  for (int d = 0; d < m.docs.DocCount(); ++d) {
+    const auto [first, last] = m.docs.DocRange(d);
+    TestClient client(server.port());  // fresh connection = fresh document
+    ASSERT_TRUE(client.ok());
+    stream::EntityMemory memory;
+    for (int i = first; i < last; ++i) {
+      const std::vector<std::string>& tokens =
+          m.docs.sentences[static_cast<size_t>(i)].tokens;
+      std::vector<text::Span> expected = m.pipeline1->Tag(tokens);
+      const std::vector<text::Span> stateless = expected;
+      memory.Apply(tokens, &expected);
+      memory.Observe(tokens, expected);
+      if (expected != stateless) memory_changed_something = true;
+      ASSERT_TRUE(client.SendLine(DocRequest(i, tokens)));
+      EXPECT_EQ(client.ReadLine(), ExpectedDocLine(i, tokens, expected))
+          << "doc " << d << " sentence " << i;
+    }
+  }
+  EXPECT_TRUE(memory_changed_something)
+      << "entity memory never altered a sentence; the differential is vacuous";
+
+  // Identical doc requests stay cache-misses ("cached":false above checks
+  // the read side; repeating a sentence checks the write side too).
+  const auto [first, last] = m.docs.DocRange(0);
+  const std::vector<std::string>& tokens =
+      m.docs.sentences[static_cast<size_t>(first)].tokens;
+  TestClient repeat(server.port());
+  ASSERT_TRUE(repeat.ok());
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSERT_TRUE(repeat.SendLine(DocRequest(pass, tokens)));
+    const std::string line = repeat.ReadLine();
+    EXPECT_NE(line.find("\"cached\":false"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"doc\":true"), std::string::npos) << line;
+  }
+
+  // Malformed doc field over the wire: 400, connection survives.
+  ASSERT_TRUE(repeat.SendLine(R"({"id":9,"doc":1,"tokens":["Li"]})"));
+  EXPECT_EQ(ErrorCodeOf(repeat.ReadLine()), kBadRequest);
+  ASSERT_TRUE(repeat.SendLine(DocRequest(10, tokens)));
+  EXPECT_NE(repeat.ReadLine().find("\"doc\":true"), std::string::npos);
+  server.Stop();
+}
+
+TEST(ServerTest, HotReloadMidDocumentKeepsConnectionState) {
+  const DocModels& m = DocFixture();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", m.path1));
+  ServeConfig config;
+  Server server(&registry, config);
+  ASSERT_TRUE(server.Start());
+
+  const auto [first, last] = m.docs.DocRange(0);
+  ASSERT_GE(last - first, 2);
+  const std::vector<std::string>& s0 =
+      m.docs.sentences[static_cast<size_t>(first)].tokens;
+  const std::vector<std::string>& s1 =
+      m.docs.sentences[static_cast<size_t>(first + 1)].tokens;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  stream::EntityMemory memory;
+
+  // First sentence tagged by model 1 and observed into the connection.
+  std::vector<text::Span> expected0 = m.pipeline1->Tag(s0);
+  memory.Apply(s0, &expected0);
+  memory.Observe(s0, expected0);
+  ASSERT_TRUE(client.SendLine(DocRequest(0, s0)));
+  ASSERT_EQ(client.ReadLine(), ExpectedDocLine(0, s0, expected0));
+
+  // Hot reload swaps in model 2 mid-document.
+  TestClient admin(server.port());
+  ASSERT_TRUE(admin.ok());
+  ASSERT_TRUE(admin.SendLine(
+      R"({"cmd":"reload","model":"default","path":)" + JsonQuote(m.path2) +
+      "}"));
+  ASSERT_NE(admin.ReadLine().find("\"ok\":true"), std::string::npos);
+
+  // Second sentence: model 2 tags it, but the votes collected from model 1's
+  // output must still apply — the document belongs to the connection, not to
+  // the model generation.
+  std::vector<text::Span> expected1 = m.pipeline2->Tag(s1);
+  memory.Apply(s1, &expected1);
+  memory.Observe(s1, expected1);
+  ASSERT_TRUE(client.SendLine(DocRequest(1, s1)));
+  EXPECT_EQ(client.ReadLine(), ExpectedDocLine(1, s1, expected1));
   server.Stop();
 }
 

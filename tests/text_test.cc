@@ -313,5 +313,67 @@ TEST(ConllTest, FourColumnRowsUseLastField) {
   EXPECT_EQ(c.sentences[0].spans[1], (Span{2, 3, "PER"}));
 }
 
+// CoNLL-2003 marks document boundaries with "-DOCSTART- -X- -X- O" sentinel
+// rows. The sentinel is a marker, not a token: it must not appear in any
+// sentence, and it must populate Corpus::doc_starts. Regression for the
+// reader treating it as a one-token sentence.
+TEST(ConllTest, DocstartSentinelsBecomeDocumentBoundaries) {
+  std::stringstream ss;
+  ss << "-DOCSTART- -X- -X- O\n"
+     << "\n"
+     << "EU NNP I-NP S-ORG\n"
+     << "rejects VBZ I-VP O\n"
+     << "\n"
+     << "Peter NNP I-NP B-PER\n"
+     << "Blackburn NNP I-NP E-PER\n"
+     << "\n"
+     << "-DOCSTART- -X- -X- O\n"
+     << "\n"
+     << "Rome NNP I-NP S-LOC\n";
+  Corpus c;
+  ASSERT_TRUE(ReadConll(ss, &c));
+  ASSERT_EQ(c.size(), 3);
+  for (const Sentence& s : c.sentences) {
+    for (const std::string& tok : s.tokens) {
+      EXPECT_NE(tok, "-DOCSTART-");
+    }
+  }
+  EXPECT_EQ(c.sentences[0].tokens, (std::vector<std::string>{"EU", "rejects"}));
+  EXPECT_EQ(c.sentences[0].spans[0], (Span{0, 1, "ORG"}));
+  EXPECT_EQ(c.doc_starts, (std::vector<int>{0, 2}));
+  ASSERT_EQ(c.DocCount(), 2);
+  EXPECT_EQ(c.DocRange(0), (std::pair<int, int>{0, 2}));
+  EXPECT_EQ(c.DocRange(1), (std::pair<int, int>{2, 3}));
+}
+
+TEST(ConllTest, DocstartHandlesSparseAndDegenerateLayouts) {
+  // Bare two-column sentinel, no blank line before the next sentence (the
+  // sentinel itself must flush), consecutive sentinels, and a trailing
+  // sentinel with no document after it.
+  std::stringstream ss;
+  ss << "John S-PER\n"      // content before the first sentinel: implicit doc
+     << "-DOCSTART- O\n"
+     << "-DOCSTART- O\n"    // consecutive sentinels collapse to one boundary
+     << "Rome S-LOC\n"
+     << "-DOCSTART- O\n";   // trailing sentinel marks no document
+  Corpus c;
+  ASSERT_TRUE(ReadConll(ss, &c));
+  ASSERT_EQ(c.size(), 2);
+  EXPECT_EQ(c.sentences[0].tokens, (std::vector<std::string>{"John"}));
+  EXPECT_EQ(c.sentences[1].tokens, (std::vector<std::string>{"Rome"}));
+  EXPECT_EQ(c.doc_starts, (std::vector<int>{0, 1}));
+  EXPECT_EQ(c.DocCount(), 2);
+}
+
+TEST(ConllTest, NoDocstartMeansSingleImplicitDocument) {
+  std::stringstream ss;
+  ss << "Rome S-LOC\n\nParis S-LOC\n";
+  Corpus c;
+  ASSERT_TRUE(ReadConll(ss, &c));
+  EXPECT_TRUE(c.doc_starts.empty());
+  ASSERT_EQ(c.DocCount(), 1);
+  EXPECT_EQ(c.DocRange(0), (std::pair<int, int>{0, 2}));
+}
+
 }  // namespace
 }  // namespace dlner::text

@@ -19,16 +19,21 @@
 // Flag parsing is strict (core/flags.h): each subcommand declares the
 // flags it accepts, unknown flags and malformed numeric values exit 1
 // instead of silently becoming defaults, and seeds are full uint64.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 
 #include "core/flags.h"
 #include "core/pipeline.h"
 #include "data/dataset.h"
 #include "embeddings/lm.h"
+#include "stream/stream_tagger.h"
 #include "tensor/quant.h"
 #include "text/conll.h"
 #include "tools/tool_common.h"
@@ -87,6 +92,10 @@ FlagSpec TagSpec() {
                 {"text", FlagKind::kValue},
                 {"in", FlagKind::kValue},
                 {"out", FlagKind::kValue},
+                {"stream", FlagKind::kBool},
+                {"doc-context", FlagKind::kBool},
+                {"chunk-bytes", FlagKind::kValue},
+                {"flush-sentences", FlagKind::kValue},
                 {"quantized", FlagKind::kBool},
                 {"threads", FlagKind::kValue}};
   tools::AddObsFlags(&spec);
@@ -280,6 +289,56 @@ int CmdTrain(const Args& args) {
   return 0;
 }
 
+// `dlner tag --stream`: --in is RAW TEXT (one or more documents), not
+// CoNLL. Bytes are pushed through the streaming tagger in --chunk-bytes
+// chunks — the emitted spans are identical for any chunk size — and the
+// tagged sentences are written in CoNLL form to --out (stdout by default).
+// --doc-context turns on the entity-consistency memory for the document.
+int RunTagStream(const Args& args, core::Pipeline* pipeline) {
+  std::ifstream is(args.Get("in"), std::ios::binary);
+  if (!args.Has("in") || !is) {
+    std::fprintf(stderr, "tag --stream: need a readable raw-text --in file\n");
+    return 1;
+  }
+  stream::StreamOptions opts;
+  opts.flush_sentences = args.GetInt("flush-sentences", 16);
+  if (args.Has("doc-context")) opts.doc_context = 1;
+  stream::StreamTagger tagger(pipeline, opts);
+  const int chunk_bytes = std::max(args.GetInt("chunk-bytes", 4096), 1);
+
+  text::Corpus tagged;
+  auto absorb = [&tagged](std::vector<stream::TaggedSentence> emitted) {
+    for (stream::TaggedSentence& ts : emitted) {
+      text::Sentence s;
+      s.tokens = std::move(ts.tokens);
+      s.spans = std::move(ts.spans);
+      tagged.sentences.push_back(std::move(s));
+    }
+  };
+  std::vector<char> buf(static_cast<std::size_t>(chunk_bytes));
+  while (is.read(buf.data(), chunk_bytes), is.gcount() > 0) {
+    absorb(tagger.Feed(
+        std::string_view(buf.data(), static_cast<std::size_t>(is.gcount()))));
+  }
+  absorb(tagger.Flush());
+
+  text::TagSet tags(pipeline->model()->entity_types(),
+                    text::TagSchemeFromString(
+                        pipeline->model()->config().scheme));
+  if (args.Has("out")) {
+    if (!text::WriteConllFile(args.Get("out"), tagged, tags)) {
+      std::fprintf(stderr, "tag: cannot write %s\n", args.Get("out").c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "tagged %d sentences (doc-context %s) -> %s\n",
+                 tagged.size(), tagger.doc_context() ? "on" : "off",
+                 args.Get("out").c_str());
+  } else {
+    text::WriteConll(std::cout, tagged, tags);
+  }
+  return 0;
+}
+
 int CmdTag(const Args& args) {
   tools::ApplyThreadsFlag(args);
   auto pipeline = core::Pipeline::Load(args.Get("model"));
@@ -292,6 +351,7 @@ int CmdTag(const Args& args) {
       !EnableQuantized(pipeline.get(), args.Get("model"), "tag")) {
     return 1;
   }
+  if (args.Has("stream")) return RunTagStream(args, pipeline.get());
   if (args.Has("text")) {
     text::Sentence tagged = pipeline->TagText(args.Get("text"));
     for (int t = 0; t < tagged.size(); ++t) std::printf("%s ",
@@ -431,6 +491,9 @@ void Usage() {
       "           [--threads N]\n"
       "  tag      --model FILE (--text \"...\" | --in FILE [--out FILE])\n"
       "           [--quantized] [--threads N]\n"
+      "           [--stream [--doc-context] [--chunk-bytes N]\n"
+      "            [--flush-sentences N]]  (--in is raw text; see\n"
+      "            docs/STREAMING.md)\n"
       "  eval     --model FILE --test FILE [--relaxed] [--quantized]\n"
       "           [--threads N]\n"
       "  quantize --model FILE --calib FILE [--out FILE.quant]\n"

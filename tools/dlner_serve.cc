@@ -47,6 +47,8 @@ void Usage() {
       "                       (written by `dlner quantize`)\n"
       "  --threads N          worker threads for the inference plan\n"
       "observability: --log-level LEVEL --trace-out FILE --metrics-out FILE\n"
+      "document requests: add \"doc\":true to a tagging request to thread it\n"
+      "                   through the connection's entity-consistency memory\n"
       "protocol and backpressure semantics: docs/SERVING.md\n");
 }
 
