@@ -19,14 +19,26 @@
 //   bench.serve.point<i>.p99_us           (exact, from sorted samples)
 //   bench.serve.point<i>.sentences_per_sec  sustained completion rate
 //   bench.serve.point<i>.rejected       429 backpressure rejections
+//   bench.serve.point<i>.<stage>_p50_us / _p99_us  server-side stage
+//       breakdown for stage in {queue_wait, batch_wait, compute, write},
+//       taken as the delta of the server's serve.stage.* histograms across
+//       the point, so coordinated-omission effects are attributable: under
+//       overload the client-side p99 decomposes into queue-wait vs
+//       batch-wait vs compute instead of being a single opaque number.
 //   bench.serve.responses_total         total tagged responses, all points
 //
 // After the f32 sweep, one extra frontier point is replayed at the highest
 // load factor against a quantized-serving registry (int8 planned path, see
-// docs/PERFORMANCE.md) and recorded under bench.serve.quantized.*.
+// docs/PERFORMANCE.md) and recorded under bench.serve.quantized.* (including
+// the same stage breakdown).
+//
+// The whole sweep runs with metrics collection on and request tracing
+// enabled at --trace-sample-rate (default 0.01), so the recorded numbers
+// include the observability tax a production deployment would pay.
 //
 // Flags: --out FILE, --duration SECS (per point), --conns N,
 //        --loads F1,F2,... (load factors, default 0.5,1.0,2.0,8.0),
+//        --trace-sample-rate F (default 0.01),
 //        --quantized (serve the int8 path for the MAIN sweep instead; the
 //        extra frontier point is skipped since everything is already int8)
 #include <arpa/inet.h>
@@ -113,6 +125,12 @@ class BenchConn {
   int fd_ = -1;
 };
 
+// Server-side stage names, in pipeline order; each has a lifetime
+// histogram serve.stage.<name>_us maintained by the server.
+constexpr const char* kStages[] = {"queue_wait", "batch_wait", "compute",
+                                   "write"};
+constexpr int kNumStages = 4;
+
 struct PointResult {
   double offered_rps = 0.0;
   double load_factor = 0.0;
@@ -121,7 +139,37 @@ struct PointResult {
   double sentences_per_sec = 0.0;
   std::int64_t responses = 0;
   std::int64_t rejected = 0;
+  // Per-stage server-side percentiles over this point only.
+  double stage_p50_us[kNumStages] = {};
+  double stage_p99_us[kNumStages] = {};
 };
+
+obs::HistogramSnapshot StageSnapshot(int stage) {
+  return obs::Metrics::Get()
+      .histogram(std::string("serve.stage.") + kStages[stage] + "_us")
+      ->Snapshot();
+}
+
+// Percentiles of the observations recorded between `before` and `after`.
+// min/max are lifetime values (they only clamp the interpolation), which is
+// fine: each point's observations dominate its own delta buckets.
+void StageDelta(const obs::HistogramSnapshot& before,
+                const obs::HistogramSnapshot& after, double* p50_us,
+                double* p99_us) {
+  obs::HistogramSnapshot d = after;
+  d.count -= before.count;
+  d.sum -= before.sum;
+  for (int b = 0; b < obs::HistogramSnapshot::kBuckets; ++b) {
+    d.buckets[b] -= before.buckets[b];
+  }
+  if (d.count <= 0) {
+    *p50_us = 0.0;
+    *p99_us = 0.0;
+    return;
+  }
+  *p50_us = d.Percentile(0.50);
+  *p99_us = d.Percentile(0.99);
+}
 
 std::int64_t IdOf(const std::string& line) {
   const std::size_t pos = line.find("\"id\":");
@@ -187,6 +235,9 @@ PointResult RunPoint(int port, const std::vector<std::string>& bodies,
   PointResult result;
   result.offered_rps = offered_rps;
   result.load_factor = capacity_rps > 0.0 ? offered_rps / capacity_rps : 0.0;
+
+  obs::HistogramSnapshot stage_before[kNumStages];
+  for (int s = 0; s < kNumStages; ++s) stage_before[s] = StageSnapshot(s);
 
   std::vector<std::unique_ptr<BenchConn>> conns;
   for (int i = 0; i < n_conns; ++i) {
@@ -268,6 +319,10 @@ PointResult RunPoint(int port, const std::vector<std::string>& bodies,
   result.rejected = rejected.load();
   result.p50_us = Percentile(&latencies, 0.50);
   result.p99_us = Percentile(&latencies, 0.99);
+  for (int s = 0; s < kNumStages; ++s) {
+    StageDelta(stage_before[s], StageSnapshot(s), &result.stage_p50_us[s],
+               &result.stage_p99_us[s]);
+  }
   const double elapsed = static_cast<double>(drain_done - start) / 1e6;
   result.sentences_per_sec =
       elapsed > 0.0 ? static_cast<double>(result.responses) / elapsed : 0.0;
@@ -281,6 +336,7 @@ int main(int argc, char** argv) {
                       {"duration", core::FlagKind::kValue},
                       {"conns", core::FlagKind::kValue},
                       {"loads", core::FlagKind::kValue},
+                      {"trace-sample-rate", core::FlagKind::kValue},
                       {"quantized", core::FlagKind::kBool}};
   core::Args args;
   if (!args.Parse(argc, argv, 1, spec)) {
@@ -290,6 +346,7 @@ int main(int argc, char** argv) {
   const std::string out_path = args.Get("out", "BENCH_serve.json");
   const double duration = args.GetDouble("duration", 2.0);
   const int n_conns = args.GetInt("conns", 4);
+  const double sample_rate = args.GetDouble("trace-sample-rate", 0.01);
   std::vector<double> loads;
   {
     // Closed-loop capacity is deflated by the batch deadline (one request
@@ -362,6 +419,12 @@ int main(int argc, char** argv) {
   }
   serve::ServeConfig serve_config;
   serve_config.cache_capacity = 0;  // measure inference, not memoization
+  serve_config.trace_sample_rate = sample_rate;
+  // The sweep pays the production observability tax: metrics collection on
+  // (feeds the serve.stage.* histograms the breakdown is read from) and
+  // request tracing sampled at serve_config.trace_sample_rate.
+  obs::EnableMetrics(true);
+  obs::EnableTracing(sample_rate > 0.0);
   serve::Server server(&registry, serve_config);
   if (!server.Start()) {
     std::fprintf(stderr, "bench_serve: cannot start server\n");
@@ -385,6 +448,10 @@ int main(int argc, char** argv) {
     std::printf("%-8.2f %12.1f %10.2f %10.2f %12.1f %9lld\n", f,
                 r.offered_rps, r.p50_us / 1e3, r.p99_us / 1e3,
                 r.sentences_per_sec, static_cast<long long>(r.rejected));
+    std::printf("         server stage p99 (ms): queue %.2f  batch %.2f  "
+                "compute %.2f  write %.2f\n",
+                r.stage_p99_us[0] / 1e3, r.stage_p99_us[1] / 1e3,
+                r.stage_p99_us[2] / 1e3, r.stage_p99_us[3] / 1e3);
     points.push_back(r);
   }
   server.Stop();
@@ -415,9 +482,9 @@ int main(int argc, char** argv) {
     qserver.Stop();
   }
 
-  obs::EnableMetrics(true);
   obs::Metrics& m = obs::Metrics::Get();
   m.gauge("bench.serve.capacity_rps")->Set(capacity);
+  m.gauge("bench.serve.trace_sample_rate")->Set(sample_rate);
   m.gauge("bench.serve.load_points")
       ->Set(static_cast<double>(points.size()));
   std::int64_t total_responses = 0;
@@ -430,6 +497,10 @@ int main(int argc, char** argv) {
     m.gauge(prefix + "p99_us")->Set(r.p99_us);
     m.gauge(prefix + "sentences_per_sec")->Set(r.sentences_per_sec);
     m.gauge(prefix + "rejected")->Set(static_cast<double>(r.rejected));
+    for (int s = 0; s < kNumStages; ++s) {
+      m.gauge(prefix + kStages[s] + "_p50_us")->Set(r.stage_p50_us[s]);
+      m.gauge(prefix + kStages[s] + "_p99_us")->Set(r.stage_p99_us[s]);
+    }
     total_responses += r.responses;
   }
   m.gauge("bench.serve.responses_total")
@@ -444,6 +515,12 @@ int main(int argc, char** argv) {
         ->Set(qpoint.sentences_per_sec);
     m.gauge("bench.serve.quantized.rejected")
         ->Set(static_cast<double>(qpoint.rejected));
+    for (int s = 0; s < kNumStages; ++s) {
+      m.gauge(std::string("bench.serve.quantized.") + kStages[s] + "_p50_us")
+          ->Set(qpoint.stage_p50_us[s]);
+      m.gauge(std::string("bench.serve.quantized.") + kStages[s] + "_p99_us")
+          ->Set(qpoint.stage_p99_us[s]);
+    }
   }
   server.PublishMetrics();
   obs::MetricsJsonOptions json_options;

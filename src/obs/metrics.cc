@@ -52,7 +52,65 @@ void AtomicMaxDouble(std::atomic<double>* a, double v) {
   }
 }
 
+// Prometheus metric names allow [a-zA-Z0-9_:] only; the registry's
+// dot-separated names map dots (and anything else) to underscores.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+// Prometheus sample values: like JsonNumber but with the exposition
+// format's spellings for non-finite values.
+std::string PromNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return internal::JsonNumber(v);
+}
+
 }  // namespace
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::int64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::int64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      double lo = 0.0, hi = 0.0;
+      BucketBounds(b, &lo, &hi);
+      const double frac = (target - static_cast<double>(cum)) /
+                          static_cast<double>(in_bucket);
+      const double est = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      // Never report outside the observed range.
+      return std::clamp(est, min, max);
+    }
+    cum += in_bucket;
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (int b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
 
 void Histogram::Observe(double v) {
   if (!(v >= 0.0)) v = 0.0;  // clamp negatives and NaN
@@ -77,29 +135,25 @@ double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
 double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
 
 double Histogram::Percentile(double p) const {
-  const std::int64_t n = count();
-  if (n == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  const double target = p / 100.0 * static_cast<double>(n);
-  std::int64_t cum = 0;
+  return Snapshot().Percentile(p);
+}
+
+double Histogram::BucketUpperBound(int b) {
+  double lo = 0.0, hi = 0.0;
+  BucketBounds(b, &lo, &hi);
+  return hi;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
   for (int b = 0; b < kBuckets; ++b) {
-    const std::int64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
-    if (in_bucket == 0) continue;
-    if (static_cast<double>(cum + in_bucket) >= target) {
-      double lo = 0.0, hi = 0.0;
-      BucketBounds(b, &lo, &hi);
-      const double frac =
-          in_bucket == 0
-              ? 0.0
-              : (target - static_cast<double>(cum)) /
-                    static_cast<double>(in_bucket);
-      const double est = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
-      // Never report outside the observed range.
-      return std::clamp(est, min(), max());
-    }
-    cum += in_bucket;
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
   }
-  return max();
+  return s;
 }
 
 void Histogram::Reset() {
@@ -108,6 +162,150 @@ void Histogram::Reset() {
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+}
+
+// --- Windowed instruments -----------------------------------------------
+//
+// Both windowed kinds share the same slot-ring discipline. A slot is owned
+// by epoch e = now_us / epoch_us at index e % epochs; it is lazily zeroed
+// and re-tagged (under its own mutex, once per turnover) the first time a
+// writer or reader touches it in a new epoch. The epoch tag is stored with
+// release order after zeroing so a relaxed-reading writer that sees the new
+// tag also sees the cleared payload.
+
+struct WindowedHistogram::Slot {
+  std::mutex mu;  // taken only to rotate the slot into a new epoch
+  std::atomic<std::int64_t> epoch{-1};
+  std::atomic<std::int64_t> buckets[HistogramSnapshot::kBuckets] = {};
+  std::atomic<std::int64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{0.0};
+  std::atomic<double> max{0.0};
+};
+
+WindowedHistogram::WindowedHistogram(std::int64_t epoch_us, int epochs)
+    : epoch_us_(epoch_us > 0 ? epoch_us : 1),
+      epochs_(epochs > 0 ? epochs : 1),
+      slots_(new Slot[static_cast<std::size_t>(epochs_)]) {}
+
+WindowedHistogram::~WindowedHistogram() = default;
+
+WindowedHistogram::Slot* WindowedHistogram::SlotFor(std::int64_t epoch) {
+  Slot* slot = &slots_[static_cast<std::size_t>(epoch % epochs_)];
+  if (slot->epoch.load(std::memory_order_acquire) != epoch) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->epoch.load(std::memory_order_relaxed) != epoch) {
+      for (auto& b : slot->buckets) b.store(0, std::memory_order_relaxed);
+      slot->count.store(0, std::memory_order_relaxed);
+      slot->sum.store(0.0, std::memory_order_relaxed);
+      slot->min.store(0.0, std::memory_order_relaxed);
+      slot->max.store(0.0, std::memory_order_relaxed);
+      slot->epoch.store(epoch, std::memory_order_release);
+    }
+  }
+  return slot;
+}
+
+void WindowedHistogram::Observe(double v, std::uint64_t now_us) {
+  if (!(v >= 0.0)) v = 0.0;  // clamp negatives and NaN, like Histogram
+  Slot* slot = SlotFor(static_cast<std::int64_t>(now_us) / epoch_us_);
+  const std::uint64_t sample =
+      v >= 9.2e18 ? ~0ull : static_cast<std::uint64_t>(std::llround(v));
+  slot->buckets[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t n = slot->count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&slot->sum, v);
+  if (n == 0) {
+    slot->min.store(v, std::memory_order_relaxed);
+    AtomicMaxDouble(&slot->max, v);
+  } else {
+    AtomicMinDouble(&slot->min, v);
+    AtomicMaxDouble(&slot->max, v);
+  }
+}
+
+HistogramSnapshot WindowedHistogram::Read(std::uint64_t now_us) const {
+  const std::int64_t current = static_cast<std::int64_t>(now_us) / epoch_us_;
+  HistogramSnapshot merged;
+  for (int i = 0; i < epochs_; ++i) {
+    const Slot& slot = slots_[static_cast<std::size_t>(i)];
+    const std::int64_t e = slot.epoch.load(std::memory_order_acquire);
+    // Only slots tagged with an epoch inside [current - epochs + 1,
+    // current] are part of the rolling window; anything older is a stale
+    // slot awaiting rotation.
+    if (e < 0 || e > current || current - e >= epochs_) continue;
+    HistogramSnapshot s;
+    s.count = slot.count.load(std::memory_order_relaxed);
+    s.sum = slot.sum.load(std::memory_order_relaxed);
+    s.min = slot.min.load(std::memory_order_relaxed);
+    s.max = slot.max.load(std::memory_order_relaxed);
+    for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      s.buckets[b] = slot.buckets[b].load(std::memory_order_relaxed);
+    }
+    merged.Merge(s);
+  }
+  return merged;
+}
+
+void WindowedHistogram::Reset() {
+  for (int i = 0; i < epochs_; ++i) {
+    Slot& slot = slots_[static_cast<std::size_t>(i)];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.epoch.store(-1, std::memory_order_release);
+  }
+}
+
+struct WindowedCounter::Slot {
+  std::mutex mu;
+  std::atomic<std::int64_t> epoch{-1};
+  std::atomic<std::int64_t> value{0};
+};
+
+WindowedCounter::WindowedCounter(std::int64_t epoch_us, int epochs)
+    : epoch_us_(epoch_us > 0 ? epoch_us : 1),
+      epochs_(epochs > 0 ? epochs : 1),
+      slots_(new Slot[static_cast<std::size_t>(epochs_)]) {}
+
+WindowedCounter::~WindowedCounter() = default;
+
+WindowedCounter::Slot* WindowedCounter::SlotFor(std::int64_t epoch) {
+  Slot* slot = &slots_[static_cast<std::size_t>(epoch % epochs_)];
+  if (slot->epoch.load(std::memory_order_acquire) != epoch) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->epoch.load(std::memory_order_relaxed) != epoch) {
+      slot->value.store(0, std::memory_order_relaxed);
+      slot->epoch.store(epoch, std::memory_order_release);
+    }
+  }
+  return slot;
+}
+
+void WindowedCounter::Add(std::int64_t n, std::uint64_t now_us) {
+  SlotFor(static_cast<std::int64_t>(now_us) / epoch_us_)
+      ->value.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::int64_t WindowedCounter::WindowTotal(std::uint64_t now_us) const {
+  const std::int64_t current = static_cast<std::int64_t>(now_us) / epoch_us_;
+  std::int64_t total = 0;
+  for (int i = 0; i < epochs_; ++i) {
+    const Slot& slot = slots_[static_cast<std::size_t>(i)];
+    const std::int64_t e = slot.epoch.load(std::memory_order_acquire);
+    if (e < 0 || e > current || current - e >= epochs_) continue;
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double WindowedCounter::RatePerSec(std::uint64_t now_us) const {
+  return static_cast<double>(WindowTotal(now_us)) / window_seconds();
+}
+
+void WindowedCounter::Reset() {
+  for (int i = 0; i < epochs_; ++i) {
+    Slot& slot = slots_[static_cast<std::size_t>(i)];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.epoch.store(-1, std::memory_order_release);
+  }
 }
 
 void Series::Append(double step, double value) {
@@ -158,10 +356,33 @@ Series* Metrics::series(const std::string& name) {
   return slot.get();
 }
 
+WindowedCounter* Metrics::windowed_counter(const std::string& name,
+                                           std::int64_t epoch_us,
+                                           int epochs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = windowed_counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<WindowedCounter>(epoch_us, epochs);
+  }
+  return slot.get();
+}
+
+WindowedHistogram* Metrics::windowed_histogram(const std::string& name,
+                                               std::int64_t epoch_us,
+                                               int epochs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = windowed_histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<WindowedHistogram>(epoch_us, epochs);
+  }
+  return slot.get();
+}
+
 std::size_t Metrics::NumSeries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size() +
-         series_.size();
+         series_.size() + windowed_counters_.size() +
+         windowed_histograms_.size();
 }
 
 void Metrics::WriteJson(std::ostream& os,
@@ -206,6 +427,30 @@ void Metrics::WriteJson(std::ostream& os,
       body += "]}";
       entries.emplace_back(name, std::move(body));
     }
+    const std::uint64_t now_us = NowMicros();
+    for (const auto& [name, wc] : windowed_counters_) {
+      entries.emplace_back(
+          name, "{\"type\": \"windowed_counter\", \"window_s\": " +
+                    JsonNumber(wc->window_seconds()) + ", \"value\": " +
+                    std::to_string(wc->WindowTotal(now_us)) +
+                    ", \"rate_per_sec\": " +
+                    JsonNumber(wc->RatePerSec(now_us)) + "}");
+    }
+    for (const auto& [name, wh] : windowed_histograms_) {
+      const HistogramSnapshot s = wh->Read(now_us);
+      if (options.skip_empty_histograms && s.count == 0) continue;
+      std::string body = "{\"type\": \"windowed_histogram\", \"window_s\": " +
+                         JsonNumber(wh->window_seconds());
+      body += ", \"count\": " + std::to_string(s.count);
+      body += ", \"sum\": " + JsonNumber(s.sum);
+      body += ", \"min\": " + JsonNumber(s.min);
+      body += ", \"max\": " + JsonNumber(s.max);
+      body += ", \"p50\": " + JsonNumber(s.Percentile(50));
+      body += ", \"p90\": " + JsonNumber(s.Percentile(90));
+      body += ", \"p99\": " + JsonNumber(s.Percentile(99));
+      body += "}";
+      entries.emplace_back(name, std::move(body));
+    }
   }
   std::sort(entries.begin(), entries.end());
   os << "{\n\"schema\": \"dlner-metrics-v1\",\n\"series\": {\n";
@@ -226,12 +471,80 @@ bool Metrics::WriteJson(const std::string& path,
   return static_cast<bool>(os);
 }
 
+void Metrics::WritePrometheus(std::ostream& os) const {
+  // One (sanitized name, text block) entry per instrument, emitted sorted
+  // so the exposition is deterministic regardless of registration order.
+  // Series are not exported here: a step curve has no Prometheus shape.
+  std::vector<std::pair<std::string, std::string>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      const std::string n = PromName(name);
+      entries.emplace_back(
+          n, "# TYPE " + n + " counter\n" + n + " " +
+                 std::to_string(c->value()) + "\n");
+    }
+    for (const auto& [name, g] : gauges_) {
+      const std::string n = PromName(name);
+      entries.emplace_back(n, "# TYPE " + n + " gauge\n" + n + " " +
+                                  PromNumber(g->value()) + "\n");
+    }
+    for (const auto& [name, h] : histograms_) {
+      const std::string n = PromName(name);
+      const HistogramSnapshot s = h->Snapshot();
+      std::string block = "# TYPE " + n + " histogram\n";
+      std::int64_t cum = 0;
+      for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+        cum += s.buckets[b];
+        // Emit only occupied boundaries (plus +Inf below): 64 pow-2
+        // buckets per histogram would drown a scrape in zeros.
+        if (s.buckets[b] == 0) continue;
+        block += n + "_bucket{le=\"" +
+                 PromNumber(Histogram::BucketUpperBound(b)) + "\"} " +
+                 std::to_string(cum) + "\n";
+      }
+      block += n + "_bucket{le=\"+Inf\"} " + std::to_string(s.count) + "\n";
+      block += n + "_sum " + PromNumber(s.sum) + "\n";
+      block += n + "_count " + std::to_string(s.count) + "\n";
+      entries.emplace_back(n, std::move(block));
+    }
+    const std::uint64_t now_us = NowMicros();
+    for (const auto& [name, wc] : windowed_counters_) {
+      // A rolling-window total can decrease, so it is a gauge, not a
+      // Prometheus counter; the per-second rate rides along.
+      const std::string n = PromName(name);
+      std::string block = "# TYPE " + n + " gauge\n" + n + " " +
+                          std::to_string(wc->WindowTotal(now_us)) + "\n";
+      const std::string rate = n + "_per_sec";
+      block += "# TYPE " + rate + " gauge\n" + rate + " " +
+               PromNumber(wc->RatePerSec(now_us)) + "\n";
+      entries.emplace_back(n, std::move(block));
+    }
+    for (const auto& [name, wh] : windowed_histograms_) {
+      const std::string n = PromName(name);
+      const HistogramSnapshot s = wh->Read(now_us);
+      std::string block = "# TYPE " + n + " summary\n";
+      for (const double q : {0.5, 0.9, 0.99}) {
+        block += n + "{quantile=\"" + PromNumber(q) + "\"} " +
+                 PromNumber(s.Percentile(q * 100.0)) + "\n";
+      }
+      block += n + "_sum " + PromNumber(s.sum) + "\n";
+      block += n + "_count " + std::to_string(s.count) + "\n";
+      entries.emplace_back(n, std::move(block));
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [name, block] : entries) os << block;
+}
+
 void Metrics::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
   for (auto& [name, s] : series_) s->Reset();
+  for (auto& [name, wc] : windowed_counters_) wc->Reset();
+  for (auto& [name, wh] : windowed_histograms_) wh->Reset();
 }
 
 }  // namespace dlner::obs

@@ -70,6 +70,26 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+/// Plain-struct copy of a histogram's state at one point in time. Windowed
+/// instruments return these (their live slots rotate underneath readers);
+/// merged snapshots answer percentile queries with the same power-of-two
+/// bucket interpolation as the live Histogram.
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 64;
+
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when empty
+  double max = 0.0;
+  std::int64_t buckets[kBuckets] = {};
+
+  /// p in [0, 100]. Returns 0 for an empty snapshot.
+  double Percentile(double p) const;
+
+  /// Folds `other` into this snapshot (bucket-wise add, min/max widen).
+  void Merge(const HistogramSnapshot& other);
+};
+
 /// Power-of-two bucketed histogram over non-negative samples (typically
 /// microseconds). Bucket b >= 1 covers [2^(b-1), 2^b); bucket 0 holds
 /// exactly zero. Percentiles interpolate linearly inside the selected
@@ -77,7 +97,7 @@ class Gauge {
 /// tell a 50 us forward pass from a 5 ms one.
 class Histogram {
  public:
-  static constexpr int kBuckets = 64;
+  static constexpr int kBuckets = HistogramSnapshot::kBuckets;
 
   void Observe(double v);
 
@@ -88,8 +108,19 @@ class Histogram {
   double min() const;  // 0 when empty
   double max() const;
 
+  /// Observation count in bucket `b` (0 <= b < kBuckets).
+  std::int64_t bucket_count(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Largest sample value bucket `b` can hold (0 for bucket 0, 2^b - 1
+  /// otherwise) — the upper bounds of the Prometheus `le` buckets.
+  static double BucketUpperBound(int b);
+
   /// p in [0, 100]. Returns 0 for an empty histogram.
   double Percentile(double p) const;
+
+  HistogramSnapshot Snapshot() const;
 
   void Reset();
 
@@ -99,6 +130,98 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
+};
+
+/// Sliding-window histogram: a ring of `epochs` fixed-duration slots, each
+/// a full power-of-two bucket table. Observations land in the slot for
+/// `now / epoch_us`; reading merges every slot still inside the window, so
+/// the result is a rolling histogram over the last `epochs * epoch_us`
+/// microseconds (e.g. 12 x 5 s = a one-minute window) that live scrapes
+/// can poll for current p50/p99 without lifetime averaging washing out a
+/// latency regression.
+///
+/// Lock discipline: the hot path (Observe into an already-current slot) is
+/// relaxed atomics only, same as Histogram. A slot is zeroed and re-tagged
+/// under its own mutex exactly once per epoch turnover, so writers only
+/// contend in the first microseconds of an epoch. One benign race is
+/// accepted and documented: a writer stalled for longer than the entire
+/// window between loading `now` and recording may land its sample in a
+/// rotated slot, misattributing one observation by one window length —
+/// harmless for monitoring, and the tsan suite exercises the rotation.
+class WindowedHistogram {
+ public:
+  WindowedHistogram(std::int64_t epoch_us, int epochs);
+  WindowedHistogram() : WindowedHistogram(5'000'000, 12) {}
+  ~WindowedHistogram();
+
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void Observe(double v) { Observe(v, NowMicros()); }
+  /// Explicit-clock overload (tests drive rotation deterministically).
+  void Observe(double v, std::uint64_t now_us);
+
+  /// Merged view of every slot inside the window ending at `now_us`.
+  HistogramSnapshot Read(std::uint64_t now_us) const;
+  HistogramSnapshot Read() const { return Read(NowMicros()); }
+
+  std::int64_t epoch_us() const { return epoch_us_; }
+  int epochs() const { return epochs_; }
+  double window_seconds() const {
+    return static_cast<double>(epoch_us_) * epochs_ / 1e6;
+  }
+
+  void Reset();
+
+ private:
+  struct Slot;
+
+  /// The slot owning epoch `epoch`, zeroed and re-tagged if it still holds
+  /// an older epoch's data.
+  Slot* SlotFor(std::int64_t epoch);
+
+  const std::int64_t epoch_us_;
+  const int epochs_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+/// Sliding-window counter: same slot ring as WindowedHistogram but a single
+/// value per slot. `WindowTotal` is the rolling event count; `RatePerSec`
+/// divides by the window length, which is the live requests/errors-per-
+/// second a scrape wants.
+class WindowedCounter {
+ public:
+  WindowedCounter(std::int64_t epoch_us, int epochs);
+  WindowedCounter() : WindowedCounter(5'000'000, 12) {}
+  ~WindowedCounter();
+
+  WindowedCounter(const WindowedCounter&) = delete;
+  WindowedCounter& operator=(const WindowedCounter&) = delete;
+
+  void Add(std::int64_t n = 1) { Add(n, NowMicros()); }
+  void Add(std::int64_t n, std::uint64_t now_us);
+
+  std::int64_t WindowTotal(std::uint64_t now_us) const;
+  std::int64_t WindowTotal() const { return WindowTotal(NowMicros()); }
+  double RatePerSec(std::uint64_t now_us) const;
+  double RatePerSec() const { return RatePerSec(NowMicros()); }
+
+  std::int64_t epoch_us() const { return epoch_us_; }
+  int epochs() const { return epochs_; }
+  double window_seconds() const {
+    return static_cast<double>(epoch_us_) * epochs_ / 1e6;
+  }
+
+  void Reset();
+
+ private:
+  struct Slot;
+
+  Slot* SlotFor(std::int64_t epoch);
+
+  const std::int64_t epoch_us_;
+  const int epochs_;
+  std::unique_ptr<Slot[]> slots_;
 };
 
 /// Append-only (step, value) sequence — per-epoch training curves,
@@ -137,17 +260,36 @@ class Metrics {
   Gauge* gauge(const std::string& name);
   Histogram* histogram(const std::string& name);
   Series* series(const std::string& name);
+  /// Windowed instruments take their window shape on first registration;
+  /// later lookups by the same name return the existing instrument (the
+  /// shape arguments are ignored then, like every other registry accessor).
+  WindowedCounter* windowed_counter(const std::string& name,
+                                    std::int64_t epoch_us = 5'000'000,
+                                    int epochs = 12);
+  WindowedHistogram* windowed_histogram(const std::string& name,
+                                        std::int64_t epoch_us = 5'000'000,
+                                        int epochs = 12);
 
-  /// Number of registered instruments (all four kinds).
+  /// Number of registered instruments (all kinds).
   std::size_t NumSeries() const;
 
   /// Deterministic JSON snapshot: {"schema": "dlner-metrics-v1",
   /// "series": {<name>: {...}, ...}} with names sorted lexicographically.
+  /// Windowed instruments export their rolling-window view as of the call.
   void WriteJson(std::ostream& os) const { WriteJson(os, {}); }
   bool WriteJson(const std::string& path) const { return WriteJson(path, {}); }
   void WriteJson(std::ostream& os, const MetricsJsonOptions& options) const;
   bool WriteJson(const std::string& path,
                  const MetricsJsonOptions& options) const;
+
+  /// Prometheus text exposition (format version 0.0.4): counters and
+  /// gauges as-is, histograms as cumulative `le` buckets ending in +Inf,
+  /// windowed histograms as summaries with quantile labels, windowed
+  /// counters as gauges (a rolling-window total is not monotone). Dots in
+  /// metric names become underscores; series are JSON-export-only. The
+  /// serve scrape endpoint (--metrics-port) and the admin "metrics"
+  /// command both emit this.
+  void WritePrometheus(std::ostream& os) const;
 
   /// Zeroes every instrument (registrations and pointers survive).
   void ResetAll();
@@ -160,6 +302,9 @@ class Metrics {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::unique_ptr<Series>> series_;
+  std::map<std::string, std::unique_ptr<WindowedCounter>> windowed_counters_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>>
+      windowed_histograms_;
 };
 
 }  // namespace dlner::obs

@@ -5,7 +5,13 @@
 #include <ostream>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace dlner::obs {
+
+namespace internal {
+thread_local std::uint64_t g_trace_ctx = 0;
+}  // namespace internal
 
 Tracer& Tracer::Get() {
   static Tracer* instance = new Tracer();  // leaked: lives until exit
@@ -26,12 +32,13 @@ Tracer::Ring* Tracer::ThreadRing() {
 }
 
 void Tracer::Record(std::string name, std::uint64_t start_us,
-                    std::uint64_t end_us) {
+                    std::uint64_t end_us, std::string args) {
   Ring* ring = ThreadRing();
   SpanEvent ev;
   ev.name = std::move(name);
   ev.start_us = start_us;
   ev.dur_us = end_us >= start_us ? end_us - start_us : 0;
+  ev.args = std::move(args);
   ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(ring->mu);
   ev.tid = ring->tid;
@@ -113,8 +120,11 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
     first = false;
     os << "{\"name\": \"" << internal::JsonEscape(ev.name)
        << "\", \"cat\": \"dlner\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
-       << ev.tid << ", \"ts\": " << ev.start_us << ", \"dur\": " << ev.dur_us
-       << "}";
+       << ev.tid << ", \"ts\": " << ev.start_us << ", \"dur\": " << ev.dur_us;
+    // Span annotations are pre-rendered JSON object bodies, spliced in
+    // verbatim so export stays a pure function of the recorded spans.
+    if (!ev.args.empty()) os << ", \"args\": {" << ev.args << "}";
+    os << "}";
   }
   os << "\n]\n}\n";
 }
@@ -126,10 +136,42 @@ bool Tracer::WriteChromeTrace(const std::string& path) const {
   return static_cast<bool>(os);
 }
 
+void ScopedSpan::Annotate(const char* key, std::int64_t value) {
+  if (!active_) return;
+  if (!args_.empty()) args_.push_back(',');
+  args_ += "\"" + internal::JsonEscape(key) + "\":" + std::to_string(value);
+}
+
+void ScopedSpan::Annotate(const char* key, const std::string& raw_json) {
+  if (!active_) return;
+  if (!args_.empty()) args_.push_back(',');
+  args_ += "\"" + internal::JsonEscape(key) + "\":" + raw_json;
+}
+
 void ScopedSpan::Finish() {
+  // The thread-local trace context is appended last so a span's explicit
+  // annotations always come first and a surrounding ScopedTraceContext
+  // cannot be shadowed by an Annotate call site.
+  if (const std::uint64_t ctx = CurrentTraceContext(); ctx != 0) {
+    if (!args_.empty()) args_.push_back(',');
+    args_ += "\"ctx\":" + std::to_string(ctx);
+  }
   Tracer::Get().Record(name_ != nullptr ? std::string(name_)
                                         : std::move(owned_),
-                       start_, NowMicros());
+                       start_, NowMicros(), std::move(args_));
+}
+
+void PublishTraceMetrics() {
+  Tracer& tracer = Tracer::Get();
+  Metrics& metrics = Metrics::Get();
+  // Published as a point-in-time copy: Reset-then-Add so repeated flushes
+  // do not double-count.
+  Counter* recorded = metrics.counter("trace.recorded_spans");
+  recorded->Reset();
+  recorded->Add(static_cast<std::int64_t>(tracer.recorded()));
+  Counter* dropped = metrics.counter("trace.dropped_spans");
+  dropped->Reset();
+  dropped->Add(static_cast<std::int64_t>(tracer.dropped()));
 }
 
 }  // namespace dlner::obs

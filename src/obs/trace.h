@@ -30,6 +30,9 @@ struct SpanEvent {
   std::uint64_t dur_us = 0;
   int tid = 0;            // stable per-thread id (registration order, 1-based)
   std::uint64_t seq = 0;  // global record-order tiebreaker
+  /// Pre-rendered JSON object body (no braces), e.g. `"req":7,"cached":true`.
+  /// Emitted as the Chrome-trace "args" object when non-empty.
+  std::string args;
 };
 
 class Tracer {
@@ -48,8 +51,12 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   /// Appends one completed span to the calling thread's ring. Called by
-  /// ScopedSpan only while tracing is enabled.
-  void Record(std::string name, std::uint64_t start_us, std::uint64_t end_us);
+  /// ScopedSpan only while tracing is enabled. `args`, when non-empty, is a
+  /// pre-rendered JSON object body attached to the span — it lets code that
+  /// tracks a request across threads (the serve batcher) record stage spans
+  /// with request-id annotations at completion time.
+  void Record(std::string name, std::uint64_t start_us, std::uint64_t end_us,
+              std::string args = {});
 
   /// Merged copy of every ring, sorted by (start, duration desc, tid, seq).
   std::vector<SpanEvent> Snapshot() const;
@@ -85,6 +92,36 @@ class Tracer {
   std::atomic<std::uint64_t> seq_{0};
 };
 
+namespace internal {
+/// Thread-local trace context (see ScopedTraceContext below). 0 = none.
+extern thread_local std::uint64_t g_trace_ctx;
+}  // namespace internal
+
+/// The calling thread's current trace context id (0 when none is set).
+inline std::uint64_t CurrentTraceContext() { return internal::g_trace_ctx; }
+
+/// RAII trace context: every span finished on this thread (or on pool
+/// workers that inherit the context through runtime::ParallelFor) while the
+/// guard is live carries a `"ctx":<id>` annotation. The serve batcher sets
+/// the batch id as the context around TagCorpus, so plan/batch and
+/// plan/quantized_batch spans are attributable to the serve/batch span (and
+/// through it to the request ids it carried); `dlner tag --stream` sets a
+/// per-document ordinal so stream/feed|flush spans group by document.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::uint64_t ctx)
+      : saved_(internal::g_trace_ctx) {
+    internal::g_trace_ctx = ctx;
+  }
+  ~ScopedTraceContext() { internal::g_trace_ctx = saved_; }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
 /// RAII span: captures the start time at construction and records a
 /// completed span at destruction. When tracing is disabled at construction
 /// the whole object is a no-op (one relaxed load, no clock reads, no
@@ -114,6 +151,13 @@ class ScopedSpan {
     if (active_) Finish();
   }
 
+  /// Attaches a `"key":value` annotation to the span's args object. No-ops
+  /// when the span is inactive (tracing was off at construction).
+  void Annotate(const char* key, std::int64_t value);
+  /// `raw_json` must already be valid JSON (a quoted string, number,
+  /// boolean, or array) — it is spliced into the args object verbatim.
+  void Annotate(const char* key, const std::string& raw_json);
+
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
@@ -122,9 +166,17 @@ class ScopedSpan {
 
   const char* name_ = nullptr;  // static name; owned_ used when null
   std::string owned_;
+  std::string args_;
   std::uint64_t start_ = 0;
   bool active_ = false;
 };
+
+/// Copies the tracer's lifetime recorded/dropped span counts into the
+/// metrics registry as `trace.recorded_spans` / `trace.dropped_spans`
+/// counters. Call before exporting metrics (FlushObsArtifacts does) so ring
+/// overwrites are visible in the metrics file, not only in the Chrome-trace
+/// otherData.
+void PublishTraceMetrics();
 
 }  // namespace dlner::obs
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "tensor/check.h"
 
 namespace dlner::runtime {
@@ -21,6 +22,10 @@ struct ThreadPool::ForState {
   std::int64_t total = 0;
   std::int64_t grain = 1;
   std::int64_t chunks = 0;
+  /// The caller's trace context at fork time; helper threads adopt it so
+  /// spans they record (e.g. plan/batch under the serve batcher) carry the
+  /// same "ctx" annotation as spans on the calling thread.
+  std::uint64_t trace_ctx = 0;
   std::atomic<std::int64_t> next{0};
   std::atomic<std::int64_t> done{0};
   std::atomic<bool> failed{false};
@@ -92,6 +97,10 @@ PoolStats ThreadPool::stats() const {
 
 void ThreadPool::RunChunks(const std::shared_ptr<ForState>& state,
                            bool caller) {
+  // Helpers inherit the forking thread's trace context for the duration of
+  // this ParallelFor; the caller already has it set.
+  obs::ScopedTraceContext ctx(caller ? obs::CurrentTraceContext()
+                                     : state->trace_ctx);
   std::atomic<std::int64_t>& chunk_counter =
       caller ? chunks_caller_ : chunks_helper_;
   for (;;) {
@@ -140,6 +149,7 @@ void ThreadPool::ParallelFor(
   state->total = total;
   state->grain = grain;
   state->chunks = chunks;
+  state->trace_ctx = obs::CurrentTraceContext();
 
   const int helpers =
       static_cast<int>(std::min<std::int64_t>(chunks - 1, workers()));

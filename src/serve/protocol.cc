@@ -298,7 +298,7 @@ bool ParseRequest(const std::string& line, Request* out, std::string* error,
       out->path = path->second.str;
       fields.erase(path);
     } else if (out->cmd != "models" && out->cmd != "stats" &&
-               out->cmd != "shutdown") {
+               out->cmd != "metrics" && out->cmd != "shutdown") {
       return SemanticFail("unknown cmd \"" + out->cmd + "\"", error, code);
     }
     if (!fields.empty()) {

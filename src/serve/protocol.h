@@ -17,7 +17,14 @@
 // "doc":true marker. Document requests bypass the response cache — their
 // answer depends on connection state, not just (model, tokens).
 // Admin request     {"cmd":"reload","model":"default","path":"new.bin"}
-//                   {"cmd":"models"} {"cmd":"stats"} {"cmd":"shutdown"}
+//                   {"cmd":"models"} {"cmd":"stats"} {"cmd":"metrics"}
+//                   {"cmd":"shutdown"}
+//
+// "stats" answers lifetime counters plus a rolling-window block (queue
+// depth, cache hits/misses, windowed p50/p99, SLO attainment); "metrics"
+// answers {"id":..,"metrics":"<...>"} where the value is the full
+// Prometheus text exposition, JSON-escaped — the same bytes the
+// --metrics-port HTTP scrape serves.
 // Tagging response  {"id":7,"model":"default","cached":false,
 //                    "tokens":[...],"spans":[{"start":1,"end":2,
 //                    "type":"LOC"}]}
@@ -56,7 +63,7 @@ struct Request {
   std::vector<std::string> tokens;  // kTag ("text" is whitespace-tokenized)
   /// kTag: part of the connection's current document (doc-context state).
   bool doc = false;
-  std::string cmd;                  // kAdmin: reload|models|stats|shutdown
+  std::string cmd;  // kAdmin: reload|models|stats|metrics|shutdown
   std::string path;                 // kAdmin reload: checkpoint to load
 };
 

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -40,8 +41,50 @@ struct Server::Conn {
   stream::EntityMemory doc_memory;
 };
 
+namespace {
+
+// splitmix64: maps a request id to a well-mixed 64-bit value so the
+// sampling decision is uniform over [0,1) yet deterministic per id.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Server::Server(ModelRegistry* registry, const ServeConfig& config)
-    : registry_(registry), config_(config), cache_(config.cache_capacity) {}
+    : registry_(registry),
+      config_(config),
+      metrics_always_(config.metrics_port >= 0),
+      cache_(config.cache_capacity) {
+  obs::Metrics& m = obs::Metrics::Get();
+  lat_hist_ = m.histogram("serve.request.latency_us");
+  stage_queue_hist_ = m.histogram("serve.stage.queue_wait_us");
+  stage_batch_hist_ = m.histogram("serve.stage.batch_wait_us");
+  stage_compute_hist_ = m.histogram("serve.stage.compute_us");
+  stage_write_hist_ = m.histogram("serve.stage.write_us");
+  const std::int64_t eus = config_.window_epoch_us;
+  const int eps = config_.window_epochs;
+  win_latency_ = m.windowed_histogram("serve.window.latency_us", eus, eps);
+  win_stage_queue_ =
+      m.windowed_histogram("serve.window.stage.queue_wait_us", eus, eps);
+  win_stage_batch_ =
+      m.windowed_histogram("serve.window.stage.batch_wait_us", eus, eps);
+  win_stage_compute_ =
+      m.windowed_histogram("serve.window.stage.compute_us", eus, eps);
+  win_stage_write_ =
+      m.windowed_histogram("serve.window.stage.write_us", eus, eps);
+  win_batch_size_ = m.windowed_histogram("serve.window.batch.size", eus, eps);
+  win_responses_ = m.windowed_counter("serve.window.responses", eus, eps);
+  win_errors_ = m.windowed_counter("serve.window.errors", eus, eps);
+  win_rejected_ = m.windowed_counter("serve.window.rejected", eus, eps);
+  win_slo_ok_ = m.windowed_counter("serve.window.slo_ok", eus, eps);
+  win_cache_hits_ = m.windowed_counter("serve.window.cache.hits", eus, eps);
+  win_cache_misses_ =
+      m.windowed_counter("serve.window.cache.misses", eus, eps);
+}
 
 Server::~Server() { Stop(); }
 
@@ -80,12 +123,101 @@ bool Server::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
+  // The serve.window.* instruments are registry-global; zero them so this
+  // server's rolling window starts from its own traffic (sequential
+  // in-process servers in tests and bench_serve would otherwise bleed into
+  // each other inside one window length).
+  for (obs::WindowedHistogram* wh :
+       {win_latency_, win_stage_queue_, win_stage_batch_, win_stage_compute_,
+        win_stage_write_, win_batch_size_}) {
+    wh->Reset();
+  }
+  for (obs::WindowedCounter* wc :
+       {win_responses_, win_errors_, win_rejected_, win_slo_ok_,
+        win_cache_hits_, win_cache_misses_}) {
+    wc->Reset();
+  }
+
+  if (config_.metrics_port >= 0 && !StartMetricsListener()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
   started_.store(true);
   listener_ = std::thread([this] { AcceptLoop(); });
   batcher_ = std::thread([this] { BatchLoop(); });
   obs::Log(obs::LogLevel::kInfo, "serve_started",
            {{"host", config_.host}, {"port", port_}});
   return true;
+}
+
+bool Server::StartMetricsListener() {
+  metrics_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (metrics_listen_fd_ < 0) return false;
+  int one = 1;
+  ::setsockopt(metrics_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.metrics_port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(metrics_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(metrics_listen_fd_, 16) != 0) {
+    obs::ForceLog(obs::LogLevel::kError, "serve_metrics_bind_failed",
+                  {{"host", config_.host},
+                   {"port", config_.metrics_port},
+                   {"errno", std::strerror(errno)}});
+    ::close(metrics_listen_fd_);
+    metrics_listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(metrics_listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  metrics_port_ = ntohs(addr.sin_port);
+  metrics_thread_ = std::thread([this] { MetricsLoop(); });
+  obs::Log(obs::LogLevel::kInfo, "serve_metrics_listening",
+           {{"host", config_.host}, {"port", metrics_port_}});
+  return true;
+}
+
+void Server::MetricsLoop() {
+  // Deliberately minimal HTTP: read whatever request head arrives, answer
+  // one HTTP/1.0 response with the exposition, close. Prometheus and curl
+  // are both happy with this, and there is no second protocol to fuzz.
+  for (;;) {
+    const int fd = ::accept(metrics_listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    char discard[1024];
+    (void)::recv(fd, discard, sizeof(discard), 0);
+    const std::string body = ScrapeText();
+    std::string resp =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+    std::size_t off = 0;
+    while (off < resp.size()) {
+      const ssize_t n = ::send(fd, resp.data() + off, resp.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+std::string Server::ScrapeText() const {
+  PublishMetrics();  // fold lifetime counters + derived gauges in first
+  std::ostringstream os;
+  obs::Metrics::Get().WritePrometheus(os);
+  return os.str();
 }
 
 void Server::AcceptLoop() {
@@ -151,9 +283,20 @@ void Server::ConnLoop(std::shared_ptr<Conn> conn) {
   }
 }
 
+bool Server::SampleTrace(std::uint64_t req_id) const {
+  if (!obs::TracingEnabled()) return false;
+  const double rate = config_.trace_sample_rate;
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  // Top 53 bits of the hash as a uniform double in [0,1).
+  const double u =
+      static_cast<double>(Mix64(req_id) >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
 void Server::HandleLine(const std::shared_ptr<Conn>& conn,
                         const std::string& line) {
-  obs::ScopedSpan span("serve/request");
+  obs::ScopedSpan span("serve/ingest");
   requests_.fetch_add(1);
   const std::uint64_t arrival_us = obs::NowMicros();
 
@@ -162,6 +305,7 @@ void Server::HandleLine(const std::shared_ptr<Conn>& conn,
   int code = 0;
   if (!ParseRequest(line, &req, &error, &code)) {
     errors_.fetch_add(1);
+    if (CollectMetrics()) win_errors_->Add(1);
     WriteLine(conn, ErrorResponse(req.has_id, req.id, code, error));
     return;
   }
@@ -170,15 +314,31 @@ void Server::HandleLine(const std::shared_ptr<Conn>& conn,
     return;
   }
 
+  // Every accepted tagging request gets a process-unique 64-bit id; it
+  // threads through the queue, batcher, and response so the request's
+  // lifecycle reconstructs from its stage spans and slow-request log line.
+  const std::uint64_t req_id = next_req_id_.fetch_add(1) + 1;
+  const bool sampled = SampleTrace(req_id);
+  const bool collect = CollectMetrics();
+  if (collect) ModelWindow(req.model, "requests")->Add(1);
+
   const ModelRegistry::Entry entry = registry_->Get(req.model);
   if (entry.pipeline == nullptr) {
     errors_.fetch_add(1);
+    if (collect) {
+      win_errors_->Add(1);
+      ModelWindow(req.model, "errors")->Add(1);
+    }
     WriteLine(conn, ErrorResponse(req.has_id, req.id, kUnknownModel,
                                   "unknown model \"" + req.model + "\""));
     return;
   }
   if (static_cast<int>(req.tokens.size()) > config_.max_tokens) {
     errors_.fetch_add(1);
+    if (collect) {
+      win_errors_->Add(1);
+      ModelWindow(req.model, "errors")->Add(1);
+    }
     WriteLine(conn, ErrorResponse(req.has_id, req.id, kTooLarge,
                                   "too many tokens (max " +
                                       std::to_string(config_.max_tokens) +
@@ -188,8 +348,16 @@ void Server::HandleLine(const std::shared_ptr<Conn>& conn,
   if (req.tokens.empty()) {
     // Nothing to tag; answer inline (the plan requires non-empty
     // sentences, and the eager path short-circuits identically).
+    Pending p{conn, std::move(req), arrival_us, req_id, sampled};
+    StageTimes t;
+    t.arrival_us = arrival_us;
+    t.queue_end_us = t.batch_end_us = arrival_us;
+    t.compute_start_us = t.compute_end_us = arrival_us;
+    t.write_start_us = obs::NowMicros();
     responses_.fetch_add(1);
-    WriteLine(conn, TagResponse(req, false, TagPayload({}, {})));
+    WriteLine(conn, TagResponse(p.request, false, TagPayload({}, {})));
+    t.write_end_us = obs::NowMicros();
+    FinishTagRequest(p, p.request.model, /*cached=*/false, t);
     return;
   }
 
@@ -201,44 +369,125 @@ void Server::HandleLine(const std::shared_ptr<Conn>& conn,
     std::string payload;
     if (cache_.Get(key, &payload)) {
       cache_hits_.fetch_add(1);
+      if (collect) win_cache_hits_->Add(1);
       responses_.fetch_add(1);
-      if (obs::MetricsEnabled()) {
-        obs::Metrics::Get()
-            .histogram("serve.request.latency_us")
-            ->Observe(static_cast<double>(obs::NowMicros() - arrival_us));
-      }
-      WriteLine(conn, TagResponse(req, true, payload));
+      Pending p{conn, std::move(req), arrival_us, req_id, sampled};
+      StageTimes t;
+      t.arrival_us = arrival_us;
+      t.queue_end_us = t.batch_end_us = arrival_us;
+      t.compute_start_us = t.compute_end_us = arrival_us;
+      t.write_start_us = obs::NowMicros();
+      WriteLine(conn, TagResponse(p.request, true, payload));
+      t.write_end_us = obs::NowMicros();
+      FinishTagRequest(p, p.request.model, /*cached=*/true, t);
       return;
     }
     cache_misses_.fetch_add(1);
+    if (collect) win_cache_misses_->Add(1);
   }
 
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_.load()) {
       rejected_.fetch_add(1);
+      if (collect) win_rejected_->Add(1);
       WriteLine(conn, ErrorResponse(req.has_id, req.id, kShuttingDown,
                                     "server is shutting down"));
       return;
     }
     if (static_cast<int>(queue_.size()) >= config_.queue_capacity) {
       rejected_.fetch_add(1);
+      if (collect) win_rejected_->Add(1);
       WriteLine(conn, ErrorResponse(req.has_id, req.id, kQueueFull,
                                     "admission queue full"));
       return;
     }
-    queue_.push_back(Pending{conn, std::move(req), arrival_us});
+    queue_.push_back(Pending{conn, std::move(req), arrival_us, req_id,
+                             sampled});
     const auto depth = static_cast<std::int64_t>(queue_.size());
+    queue_depth_.store(depth, std::memory_order_relaxed);
     std::int64_t peak = queue_peak_.load();
     while (depth > peak && !queue_peak_.compare_exchange_weak(peak, depth)) {
     }
-    if (obs::MetricsEnabled()) {
+    if (collect) {
       obs::Metrics::Get()
           .gauge("serve.queue.depth")
           ->Set(static_cast<double>(depth));
     }
   }
   queue_cv_.notify_one();
+}
+
+obs::WindowedCounter* Server::ModelWindow(const std::string& model,
+                                          const char* what) const {
+  return obs::Metrics::Get().windowed_counter(
+      "serve.window.model." + model + "." + what, config_.window_epoch_us,
+      config_.window_epochs);
+}
+
+void Server::FinishTagRequest(const Pending& pending, const std::string& model,
+                              bool cached, const StageTimes& t) {
+  const auto stage = [](std::uint64_t from, std::uint64_t to) {
+    return to >= from ? to - from : 0;
+  };
+  const std::uint64_t queue_wait = stage(t.arrival_us, t.queue_end_us);
+  const std::uint64_t batch_wait = stage(t.queue_end_us, t.batch_end_us);
+  const std::uint64_t compute = stage(t.compute_start_us, t.compute_end_us);
+  const std::uint64_t write = stage(t.write_start_us, t.write_end_us);
+  const std::uint64_t total = stage(t.arrival_us, t.write_end_us);
+
+  if (CollectMetrics()) {
+    lat_hist_->Observe(static_cast<double>(total));
+    stage_queue_hist_->Observe(static_cast<double>(queue_wait));
+    stage_batch_hist_->Observe(static_cast<double>(batch_wait));
+    stage_compute_hist_->Observe(static_cast<double>(compute));
+    stage_write_hist_->Observe(static_cast<double>(write));
+    win_latency_->Observe(static_cast<double>(total));
+    win_stage_queue_->Observe(static_cast<double>(queue_wait));
+    win_stage_batch_->Observe(static_cast<double>(batch_wait));
+    win_stage_compute_->Observe(static_cast<double>(compute));
+    win_stage_write_->Observe(static_cast<double>(write));
+    win_responses_->Add(1);
+    if (config_.slo_us > 0 &&
+        total <= static_cast<std::uint64_t>(config_.slo_us)) {
+      win_slo_ok_->Add(1);
+    }
+  }
+
+  if (pending.sampled && obs::TracingEnabled()) {
+    obs::Tracer& tracer = obs::Tracer::Get();
+    const std::string req = "\"req\":" + std::to_string(pending.req_id);
+    tracer.Record("serve/request", t.arrival_us, t.write_end_us,
+                  req + ",\"model\":" + JsonQuote(model) +
+                      ",\"cached\":" + (cached ? "true" : "false") +
+                      (pending.request.doc ? ",\"doc\":true" : ""));
+    if (!cached) {
+      tracer.Record("serve/stage/queue_wait", t.arrival_us, t.queue_end_us,
+                    req);
+      tracer.Record("serve/stage/batch_wait", t.queue_end_us, t.batch_end_us,
+                    req);
+      tracer.Record("serve/stage/compute", t.compute_start_us,
+                    t.compute_end_us, req);
+    }
+    tracer.Record("serve/stage/write", t.write_start_us, t.write_end_us, req);
+  }
+
+  if (config_.slow_request_us > 0 &&
+      total >= static_cast<std::uint64_t>(config_.slow_request_us)) {
+    slow_requests_.fetch_add(1);
+    obs::Log(obs::LogLevel::kWarn, "serve_slow_request",
+             {{"req", static_cast<std::int64_t>(pending.req_id)},
+              {"model", model},
+              {"total_us", static_cast<std::int64_t>(total)},
+              {"queue_wait_us", static_cast<std::int64_t>(queue_wait)},
+              {"batch_wait_us", static_cast<std::int64_t>(batch_wait)},
+              {"compute_us", static_cast<std::int64_t>(compute)},
+              {"write_us", static_cast<std::int64_t>(write)},
+              {"tokens", static_cast<std::int64_t>(
+                             pending.request.tokens.size())},
+              {"cached", cached},
+              {"doc", pending.request.doc}});
+  }
 }
 
 void Server::HandleAdmin(const std::shared_ptr<Conn>& conn, const Request& req,
@@ -282,6 +531,35 @@ void Server::HandleAdmin(const std::shared_ptr<Conn>& conn, const Request& req,
       std::lock_guard<std::mutex> lock(queue_mu_);
       depth = queue_.size();
     }
+    // Lifetime counters (as before), then a rolling-window block: live
+    // queue depth and cache hit/miss plus windowed latency percentiles and
+    // SLO attainment, so an operator polling stats sees the current
+    // minute, not the lifetime average.
+    const std::uint64_t now_us = obs::NowMicros();
+    const obs::HistogramSnapshot lat = win_latency_->Read(now_us);
+    const std::int64_t win_responses = win_responses_->WindowTotal(now_us);
+    const std::int64_t win_ok = win_slo_ok_->WindowTotal(now_us);
+    const double attainment =
+        win_responses > 0 ? static_cast<double>(win_ok) /
+                                static_cast<double>(win_responses)
+                          : 1.0;
+    using obs::internal::JsonNumber;
+    std::string window =
+        "{\"window_s\":" + JsonNumber(win_latency_->window_seconds()) +
+        ",\"responses\":" + std::to_string(win_responses) +
+        ",\"errors\":" + std::to_string(win_errors_->WindowTotal(now_us)) +
+        ",\"rejected\":" +
+        std::to_string(win_rejected_->WindowTotal(now_us)) +
+        ",\"cache_hits\":" +
+        std::to_string(win_cache_hits_->WindowTotal(now_us)) +
+        ",\"cache_misses\":" +
+        std::to_string(win_cache_misses_->WindowTotal(now_us)) +
+        ",\"p50_us\":" + JsonNumber(lat.Percentile(50)) +
+        ",\"p99_us\":" + JsonNumber(lat.Percentile(99));
+    if (config_.slo_us > 0) {
+      window += ",\"slo_attainment\":" + JsonNumber(attainment);
+    }
+    window += "}";
     WriteLine(conn,
               "{" + id_prefix + "\"requests\":" +
                   std::to_string(requests_.load()) + ",\"responses\":" +
@@ -291,7 +569,16 @@ void Server::HandleAdmin(const std::shared_ptr<Conn>& conn, const Request& req,
                   std::to_string(cache_hits_.load()) + ",\"cache_misses\":" +
                   std::to_string(cache_misses_.load()) + ",\"batches\":" +
                   std::to_string(batches_.load()) + ",\"queue_depth\":" +
-                  std::to_string(depth) + "}");
+                  std::to_string(depth) + ",\"window\":" + window + "}");
+    return;
+  }
+  if (req.cmd == "metrics") {
+    // The same exposition the --metrics-port scrape serves, carried as a
+    // JSON string so it works over the NDJSON socket without a second
+    // listener.
+    WriteLine(conn,
+              "{" + id_prefix + "\"metrics\":" + JsonQuote(ScrapeText()) +
+                  "}");
     return;
   }
   // shutdown: acknowledge, then wake Wait() so the owning thread can run
@@ -308,6 +595,7 @@ void Server::BatchLoop() {
   for (;;) {
     std::vector<Pending> batch;
     bool deadline_flush = false;
+    std::uint64_t collect_start_us = 0;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
@@ -316,6 +604,10 @@ void Server::BatchLoop() {
         if (stopping_.load()) return;
         continue;
       }
+      // From here until the batch is popped the head request is waiting on
+      // batch formation (batch_wait); everything before was queue_wait
+      // (head-of-line blocking behind the previous in-flight batch).
+      collect_start_us = obs::NowMicros();
       const std::string model = queue_.front().request.model;
       const std::uint64_t deadline =
           queue_.front().arrival_us +
@@ -343,24 +635,39 @@ void Server::BatchLoop() {
           ++it;
         }
       }
-      if (obs::MetricsEnabled()) {
+      const auto depth = static_cast<std::int64_t>(queue_.size());
+      queue_depth_.store(depth, std::memory_order_relaxed);
+      if (CollectMetrics()) {
         obs::Metrics::Get()
             .gauge("serve.queue.depth")
-            ->Set(static_cast<double>(queue_.size()));
+            ->Set(static_cast<double>(depth));
       }
     }
     (deadline_flush ? deadline_flushes_ : size_flushes_).fetch_add(1);
-    ExecuteBatch(std::move(batch));
+    ExecuteBatch(std::move(batch), collect_start_us, obs::NowMicros());
   }
 }
 
-void Server::ExecuteBatch(std::vector<Pending> batch) {
+void Server::ExecuteBatch(std::vector<Pending> batch,
+                          std::uint64_t collect_start_us,
+                          std::uint64_t collect_end_us) {
+  const std::int64_t batch_id = batches_.fetch_add(1) + 1;
   obs::ScopedSpan span("serve/batch");
-  batches_.fetch_add(1);
-  if (obs::MetricsEnabled()) {
+  span.Annotate("batch", batch_id);
+  if (obs::TracingEnabled()) {
+    std::string reqs = "[";
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (i > 0) reqs.push_back(',');
+      reqs += std::to_string(batch[i].req_id);
+    }
+    reqs.push_back(']');
+    span.Annotate("reqs", reqs);
+  }
+  if (CollectMetrics()) {
     obs::Metrics::Get()
         .histogram("serve.batch.size")
         ->Observe(static_cast<double>(batch.size()));
+    win_batch_size_->Observe(static_cast<double>(batch.size()));
   }
 
   const std::string& model = batch.front().request.model;
@@ -371,6 +678,10 @@ void Server::ExecuteBatch(std::vector<Pending> batch) {
   if (entry.pipeline == nullptr) {
     for (const Pending& p : batch) {
       errors_.fetch_add(1);
+      if (CollectMetrics()) {
+        win_errors_->Add(1);
+        ModelWindow(model, "errors")->Add(1);
+      }
       Respond(p, ErrorResponse(p.request.has_id, p.request.id, kUnknownModel,
                                "unknown model \"" + model + "\""));
     }
@@ -384,12 +695,31 @@ void Server::ExecuteBatch(std::vector<Pending> batch) {
   }
   // The compiled-plan corpus path (packed ragged micro-batches, arena
   // buffers) — the same code `dlner tag --in` runs, so served responses
-  // are bit-identical to the batch CLI.
-  std::vector<std::vector<text::Span>> spans =
-      entry.pipeline->TagCorpus(corpus);
+  // are bit-identical to the batch CLI. The batch id becomes the trace
+  // context for the duration, so plan/batch and plan/quantized_batch spans
+  // (on this thread and on ParallelFor helpers) carry "ctx":<batch id> and
+  // attribute to this serve/batch span's request ids.
+  const std::uint64_t compute_start_us = obs::NowMicros();
+  std::vector<std::vector<text::Span>> spans;
+  {
+    obs::ScopedTraceContext trace_ctx(static_cast<std::uint64_t>(batch_id));
+    spans = entry.pipeline->TagCorpus(corpus);
+  }
+  const std::uint64_t compute_end_us = obs::NowMicros();
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Pending& p = batch[i];
+    StageTimes t;
+    t.arrival_us = p.arrival_us;
+    // A request that arrived while the batch was already forming waited in
+    // no queue at all: clamp its queue_wait to zero and start batch_wait
+    // at its own arrival.
+    t.queue_end_us = std::clamp(collect_start_us, p.arrival_us,
+                                collect_end_us);
+    t.batch_end_us = collect_end_us;
+    t.compute_start_us = compute_start_us;
+    t.compute_end_us = compute_end_us;
+    t.write_start_us = obs::NowMicros();
     if (p.request.doc) {
       // Fold this sentence through the connection's document state, in
       // batch (= per-connection arrival) order. Doc responses are not
@@ -404,15 +734,18 @@ void Server::ExecuteBatch(std::vector<Pending> batch) {
                  payload);
     }
     responses_.fetch_add(1);
-    Respond(p, TagResponse(p.request, false, payload));
+    WriteLine(p.conn, TagResponse(p.request, false, payload));
+    t.write_end_us = obs::NowMicros();
+    FinishTagRequest(p, model, /*cached=*/false, t);
   }
 }
 
+// Error-path responder (the tagging path runs FinishTagRequest instead,
+// which also feeds the stage and window instruments).
 void Server::Respond(const Pending& pending, const std::string& line) {
-  if (obs::MetricsEnabled()) {
-    obs::Metrics::Get()
-        .histogram("serve.request.latency_us")
-        ->Observe(static_cast<double>(obs::NowMicros() - pending.arrival_us));
+  if (CollectMetrics()) {
+    lat_hist_->Observe(
+        static_cast<double>(obs::NowMicros() - pending.arrival_us));
   }
   WriteLine(pending.conn, line);
 }
@@ -462,6 +795,14 @@ void Server::Stop() {
   //    requests with 503 while everything already admitted is answered.
   queue_cv_.notify_all();
   if (batcher_.joinable()) batcher_.join();
+  // 2b. Take down the metrics scrape listener (same shutdown-then-join
+  //     discipline as the main listener).
+  if (metrics_listen_fd_ >= 0) ::shutdown(metrics_listen_fd_, SHUT_RDWR);
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  if (metrics_listen_fd_ >= 0) {
+    ::close(metrics_listen_fd_);
+    metrics_listen_fd_ = -1;
+  }
   // 3. Unblock and join the connection readers.
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -500,6 +841,37 @@ void Server::PublishMetrics() const {
   set("serve.batch.size_flushes", size_flushes_.load());
   set("serve.queue.peak_depth", queue_peak_.load());
   set("serve.reloads_total", reloads_.load());
+  set("serve.slow_requests_total", slow_requests_.load());
+  set("serve.queue.depth", queue_depth_.load(std::memory_order_relaxed));
+
+  // Derived rolling-window gauges, recomputed at every publish/scrape.
+  const std::uint64_t now_us = obs::NowMicros();
+  const std::int64_t win_responses = win_responses_->WindowTotal(now_us);
+  const std::int64_t hits = win_cache_hits_->WindowTotal(now_us);
+  const std::int64_t misses = win_cache_misses_->WindowTotal(now_us);
+  m.gauge("serve.window.cache_hit_rate")
+      ->Set(hits + misses > 0
+                ? static_cast<double>(hits) /
+                      static_cast<double>(hits + misses)
+                : 0.0);
+  if (config_.slo_us > 0) {
+    // Attainment: fraction of windowed responses at or under --slo-us (an
+    // idle window counts as full attainment). Error budget remaining: with
+    // target t the window may miss on (1 - t) of responses; the gauge is
+    // the unconsumed fraction of that allowance — 1 untouched, 0
+    // exhausted, negative blown.
+    const std::int64_t win_ok = win_slo_ok_->WindowTotal(now_us);
+    const double attainment =
+        win_responses > 0 ? static_cast<double>(win_ok) /
+                                static_cast<double>(win_responses)
+                          : 1.0;
+    m.gauge("serve.window.slo_attainment")->Set(attainment);
+    const double budget = 1.0 - config_.slo_target;
+    m.gauge("serve.window.error_budget_remaining")
+        ->Set(budget > 0.0 ? (budget - (1.0 - attainment)) / budget
+                           : (attainment >= 1.0 ? 1.0 : 0.0));
+  }
+  obs::PublishTraceMetrics();
 }
 
 }  // namespace dlner::serve

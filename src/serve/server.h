@@ -30,11 +30,19 @@
 // ModelRegistry::Load from the embedding process) swaps the model without
 // dropping in-flight requests (serve/registry.h).
 //
-// Observability: spans serve/request, serve/batch, serve/reload; always-on
-// internal counters surfaced by PublishMetrics() as serve.* metrics plus —
-// while obs::MetricsEnabled() — serve.request.latency_us and
-// serve.batch.size histograms and serve.queue.depth gauges. See
-// docs/SERVING.md.
+// Observability (docs/OBSERVABILITY.md "Live serving observability"):
+// every accepted request gets a 64-bit request id threaded through the
+// admission queue, the batcher, TagCorpus, and the response write. Sampled
+// requests (--trace-sample-rate over the request-id hash) record a
+// serve/request span plus serve/stage/{queue_wait,batch_wait,compute,
+// write} spans sharing the same "req" annotation; serve/batch spans carry
+// the ids they served and set the batch id as the thread's trace context,
+// so plan/batch spans nest attributably. Latency and stage histograms feed
+// both lifetime instruments (serve.request.latency_us, serve.stage.*) and
+// rolling serve.window.* instruments exported by the admin "metrics"
+// command and the --metrics-port Prometheus scrape; requests over
+// --slow-request-us emit a structured serve_slow_request log line with the
+// stage breakdown. See docs/SERVING.md.
 #ifndef DLNER_SERVE_SERVER_H_
 #define DLNER_SERVE_SERVER_H_
 
@@ -48,6 +56,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
@@ -73,6 +82,38 @@ struct ServeConfig {
   std::size_t max_line_bytes = 1 << 20;
   /// Requests with more tokens than this are rejected with 413.
   int max_tokens = 512;
+
+  // --- Live observability (docs/OBSERVABILITY.md) -----------------------
+
+  /// Fraction of requests whose lifecycle is recorded as trace spans while
+  /// tracing is enabled. Sampling is deterministic per request id (a
+  /// splitmix64 hash), so reruns sample the same ids. 1.0 = every request
+  /// (the pre-sampling behavior); 0.0 = none.
+  double trace_sample_rate = 1.0;
+  /// Requests slower than this end-to-end emit a structured
+  /// "serve_slow_request" warn-level log line with the per-stage
+  /// breakdown, independent of trace sampling. 0 disables.
+  std::int64_t slow_request_us = 0;
+  /// End-to-end latency objective. When nonzero, every response also feeds
+  /// the rolling SLO-attainment gauge (fraction of windowed responses at
+  /// or under this latency) and the error-budget-remaining gauge derived
+  /// from `slo_target`. 0 disables SLO accounting.
+  std::int64_t slo_us = 0;
+  /// Attainment objective for the error-budget gauge: with target t, the
+  /// budget is (1 - t) of windowed responses; the gauge is the fraction of
+  /// that budget not yet consumed by over-SLO responses (1 = untouched,
+  /// 0 = exhausted, negative = blown).
+  double slo_target = 0.99;
+  /// TCP port for the plain-text Prometheus scrape endpoint (HTTP GET,
+  /// exposition format 0.0.4). -1 disables; 0 asks for an ephemeral port
+  /// (see Server::metrics_port()). While the endpoint is up, serve-side
+  /// metric collection is always on, even without --metrics-out.
+  int metrics_port = -1;
+  /// Sliding-window shape for the serve.window.* instruments: a ring of
+  /// `window_epochs` slots of `window_epoch_us` each (default 12 x 5 s =
+  /// a one-minute rolling window).
+  std::int64_t window_epoch_us = 5'000'000;
+  int window_epochs = 12;
 };
 
 class Server {
@@ -91,6 +132,10 @@ class Server {
 
   /// The bound port (useful with ServeConfig::port == 0).
   int port() const { return port_; }
+
+  /// The bound Prometheus scrape port, or 0 when ServeConfig::metrics_port
+  /// is -1 (endpoint disabled).
+  int metrics_port() const { return metrics_port_; }
 
   /// Blocks until Stop() is called or a client sends {"cmd":"shutdown"}.
   /// `interrupted`, when non-null, is polled so a signal handler can end
@@ -126,6 +171,24 @@ class Server {
     std::shared_ptr<Conn> conn;
     Request request;
     std::uint64_t arrival_us = 0;
+    std::uint64_t req_id = 0;
+    bool sampled = false;  // trace this request's lifecycle as spans
+  };
+
+  /// Stage boundary timestamps of one tagging request (obs::NowMicros()).
+  /// queue_wait = queue_end - arrival (head-of-line time before the
+  /// batcher started collecting this batch), batch_wait = batch_end -
+  /// queue_end (deadline-or-size collection), compute = the TagCorpus
+  /// call, write = doc fold + payload build + cache fill + socket write.
+  /// Cache hits collapse everything but write onto the arrival instant.
+  struct StageTimes {
+    std::uint64_t arrival_us = 0;
+    std::uint64_t queue_end_us = 0;
+    std::uint64_t batch_end_us = 0;
+    std::uint64_t compute_start_us = 0;
+    std::uint64_t compute_end_us = 0;
+    std::uint64_t write_start_us = 0;
+    std::uint64_t write_end_us = 0;
   };
 
   void AcceptLoop();
@@ -134,21 +197,49 @@ class Server {
   void HandleAdmin(const std::shared_ptr<Conn>& conn, const Request& req,
                    std::uint64_t arrival_us);
   void BatchLoop();
-  void ExecuteBatch(std::vector<Pending> batch);
+  void ExecuteBatch(std::vector<Pending> batch, std::uint64_t collect_start_us,
+                    std::uint64_t collect_end_us);
   void Respond(const Pending& pending, const std::string& line);
   void WriteLine(const std::shared_ptr<Conn>& conn, const std::string& line);
 
+  /// True while serve-side metric collection should run: always while the
+  /// scrape endpoint is configured, otherwise only under --metrics-out.
+  bool CollectMetrics() const {
+    return metrics_always_ || obs::MetricsEnabled();
+  }
+  /// Deterministic per-request sampling decision (splitmix64 hash of the
+  /// request id against config_.trace_sample_rate).
+  bool SampleTrace(std::uint64_t req_id) const;
+  /// Tail of every answered tagging request: windowed + lifetime metrics,
+  /// per-model counters, SLO accounting, stage spans for sampled requests,
+  /// and the slow-request log line.
+  void FinishTagRequest(const Pending& pending, const std::string& model,
+                        bool cached, const StageTimes& t);
+  /// serve.window.model.<model>.<what> with the server's window shape.
+  obs::WindowedCounter* ModelWindow(const std::string& model,
+                                    const char* what) const;
+
+  bool StartMetricsListener();
+  void MetricsLoop();
+  /// The Prometheus exposition the scrape endpoint and the admin
+  /// "metrics" command serve (publishes derived gauges first).
+  std::string ScrapeText() const;
+
   ModelRegistry* const registry_;
   const ServeConfig config_;
+  const bool metrics_always_;
   LruCache cache_;
 
   int listen_fd_ = -1;
   int port_ = 0;
+  int metrics_listen_fd_ = -1;
+  int metrics_port_ = 0;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
 
   std::thread listener_;
   std::thread batcher_;
+  std::thread metrics_thread_;
   std::mutex conn_mu_;  // guards conns_ and conn_threads_
   std::vector<std::weak_ptr<Conn>> conns_;
   std::vector<std::thread> conn_threads_;
@@ -172,6 +263,32 @@ class Server {
   std::atomic<std::int64_t> size_flushes_{0};
   std::atomic<std::int64_t> queue_peak_{0};
   std::atomic<std::int64_t> reloads_{0};
+  std::atomic<std::int64_t> queue_depth_{0};  // live admission-queue depth
+  std::atomic<std::uint64_t> next_req_id_{0};
+  std::atomic<std::int64_t> slow_requests_{0};
+
+  // Cached instrument pointers (stable for the process lifetime). The
+  // lifetime histograms keep their PR-7 names; the serve.window.* family
+  // is this server's rolling view and is Reset() in Start() so sequential
+  // in-process servers (tests, bench_serve) observe only their own
+  // traffic.
+  obs::Histogram* lat_hist_;
+  obs::Histogram* stage_queue_hist_;
+  obs::Histogram* stage_batch_hist_;
+  obs::Histogram* stage_compute_hist_;
+  obs::Histogram* stage_write_hist_;
+  obs::WindowedHistogram* win_latency_;
+  obs::WindowedHistogram* win_stage_queue_;
+  obs::WindowedHistogram* win_stage_batch_;
+  obs::WindowedHistogram* win_stage_compute_;
+  obs::WindowedHistogram* win_stage_write_;
+  obs::WindowedHistogram* win_batch_size_;
+  obs::WindowedCounter* win_responses_;
+  obs::WindowedCounter* win_errors_;
+  obs::WindowedCounter* win_rejected_;
+  obs::WindowedCounter* win_slo_ok_;
+  obs::WindowedCounter* win_cache_hits_;
+  obs::WindowedCounter* win_cache_misses_;
 };
 
 }  // namespace dlner::serve

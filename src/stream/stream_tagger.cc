@@ -23,6 +23,7 @@ StreamTagger::StreamTagger(const core::Pipeline* pipeline,
 }
 
 std::vector<TaggedSentence> StreamTagger::Feed(std::string_view chunk) {
+  obs::ScopedTraceContext trace_ctx(trace_ctx_);
   obs::ScopedSpan span("stream/feed");
   tokenizer_.Feed(chunk);
   DrainTokenizer();
@@ -35,6 +36,7 @@ std::vector<TaggedSentence> StreamTagger::Feed(std::string_view chunk) {
 }
 
 std::vector<TaggedSentence> StreamTagger::Flush() {
+  obs::ScopedTraceContext trace_ctx(trace_ctx_);
   obs::ScopedSpan span("stream/flush");
   tokenizer_.Flush();
   DrainTokenizer();

@@ -73,6 +73,14 @@ class StreamTagger {
   /// True when doc-level state is active for this stream.
   bool doc_context() const { return doc_context_; }
 
+  /// Trace context id stamped (as a "ctx" annotation) onto the
+  /// stream/feed|flush spans this tagger records, and inherited by the
+  /// plan/batch spans under them — the same request-context mechanism the
+  /// serve batcher uses, so streamed document traffic is attributable in a
+  /// merged trace. 0 (default) leaves spans unannotated.
+  void set_trace_context(std::uint64_t ctx) { trace_ctx_ = ctx; }
+  std::uint64_t trace_context() const { return trace_ctx_; }
+
   /// Sentences tokenized but not yet tagged.
   int PendingSentences() const { return static_cast<int>(pending_.size()); }
 
@@ -89,6 +97,7 @@ class StreamTagger {
   const core::Pipeline* pipeline_;
   StreamOptions opts_;
   bool doc_context_ = false;
+  std::uint64_t trace_ctx_ = 0;
 
   text::StreamTokenizer tokenizer_;
   std::vector<std::vector<std::string>> pending_;

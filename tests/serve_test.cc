@@ -14,6 +14,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +25,9 @@
 #include "core/pipeline.h"
 #include "data/dataset.h"
 #include "data/scenarios.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
@@ -85,7 +90,7 @@ TEST(ProtocolTest, AdminRequests) {
   EXPECT_EQ(req.cmd, "reload");
   EXPECT_EQ(req.model, "ner");
   EXPECT_EQ(req.path, "m.bin");
-  for (const char* cmd : {"models", "stats", "shutdown"}) {
+  for (const char* cmd : {"models", "stats", "metrics", "shutdown"}) {
     req = Parse(std::string("{\"cmd\":\"") + cmd + "\"}", &ok);
     EXPECT_TRUE(ok) << cmd;
     EXPECT_EQ(req.cmd, cmd);
@@ -907,6 +912,211 @@ TEST(ServerTest, AdminModelsStatsAndShutdown) {
     late.SendLine(TokensRequest(1, {"x"}));
     EXPECT_TRUE(late.ReadLine().empty());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Live serving observability: windowed stats in `stats`, the `metrics` admin
+// command, the --metrics-port Prometheus scrape, and request-scoped stage
+// tracing. These tests also double as the "collection on does not change the
+// served bytes" differential for the serve path.
+
+// The 64-bit request id a serve span's args carry, or -1.
+std::int64_t ArgsReqId(const std::string& args) {
+  const std::size_t pos = args.find("\"req\":");
+  if (pos == std::string::npos) return -1;
+  return std::atoll(args.c_str() + pos + 6);
+}
+
+// Blocking HTTP GET against the metrics listener; returns the full response
+// (status line + headers + body) read to EOF.
+std::string HttpGet(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  timeval tv{20, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ServerTest, AdminStatsWindowBlockAndMetricsCommand) {
+  const Models& m = Fixture();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", m.path1));
+  ServeConfig config;
+  config.slo_us = 10'000'000;   // generous: everything attains
+  config.slow_request_us = 1;   // everything is "slow": exercises the log
+  Server server(&registry, config);
+  obs::Metrics::Get().ResetAll();
+  obs::EnableMetrics(true);
+  ASSERT_TRUE(server.Start());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  const std::vector<std::string>& tokens = m.corpus.sentences[5].tokens;
+  ASSERT_TRUE(client.SendLine(TokensRequest(1, tokens)));
+  ASSERT_FALSE(client.ReadLine().empty());
+  ASSERT_TRUE(client.SendLine(TokensRequest(2, tokens)));  // cache hit
+  ASSERT_FALSE(client.ReadLine().empty());
+
+  ASSERT_TRUE(client.SendLine(R"({"cmd":"stats"})"));
+  const std::string stats = client.ReadLine();
+  EXPECT_NE(stats.find("\"queue_depth\":0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"window\":{"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"responses\":2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cache_hits\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cache_misses\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"p99_us\":"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"slo_attainment\":1"), std::string::npos) << stats;
+
+  // The metrics command carries the Prometheus exposition as a JSON string
+  // (same bytes the --metrics-port scrape serves), id echoed when given.
+  ASSERT_TRUE(client.SendLine(R"({"cmd":"metrics"})"));
+  const std::string metrics = client.ReadLine();
+  EXPECT_NE(metrics.find("\"metrics\":\""), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics.find("serve_window_latency_us"), std::string::npos);
+
+  server.PublishMetrics();
+  obs::Metrics& reg = obs::Metrics::Get();
+  EXPECT_GE(reg.gauge("serve.slow_requests_total")->value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("serve.window.cache_hit_rate")->value(), 0.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("serve.window.slo_attainment")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("serve.queue.depth")->value(), 0.0);
+  // slo_target defaults to 0.99: full attainment leaves the whole error
+  // budget, so the remaining-fraction gauge reads 1.
+  EXPECT_DOUBLE_EQ(reg.gauge("serve.window.error_budget_remaining")->value(),
+                   1.0);
+  server.Stop();
+  obs::EnableMetrics(false);
+  reg.ResetAll();
+}
+
+TEST(ServerTest, MetricsPortServesPrometheusScrape) {
+  const Models& m = Fixture();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", m.path1));
+  ServeConfig config;
+  config.metrics_port = 0;  // ephemeral; also turns collection always-on
+  config.slo_us = 10'000'000;
+  Server server(&registry, config);
+  obs::Metrics::Get().ResetAll();
+  ASSERT_TRUE(server.Start());
+  ASSERT_GT(server.metrics_port(), 0);
+  EXPECT_NE(server.metrics_port(), server.port());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.SendLine(TokensRequest(1, m.corpus.sentences[6].tokens)));
+  ASSERT_FALSE(client.ReadLine().empty());
+
+  const std::string scrape = HttpGet(server.metrics_port());
+  EXPECT_NE(scrape.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(scrape.find("text/plain; version=0.0.4"), std::string::npos);
+  const std::size_t header_end = scrape.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos) << scrape;
+  const std::string body = scrape.substr(header_end + 4);
+
+  // Content-Length matches the body byte-for-byte (HTTP/1.0 clients rely
+  // on it even though we also close the connection).
+  const std::size_t cl_pos = scrape.find("Content-Length: ");
+  ASSERT_NE(cl_pos, std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::atoll(scrape.c_str() + cl_pos + 16)),
+            body.size());
+
+  EXPECT_NE(body.find("# TYPE serve_window_latency_us summary"),
+            std::string::npos);
+  EXPECT_NE(body.find("serve_window_latency_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("serve_window_latency_us_count 1"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE serve_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(body.find("serve_window_slo_attainment 1"), std::string::npos);
+  EXPECT_NE(body.find("serve_window_batch_size"), std::string::npos);
+  EXPECT_NE(body.find("serve_window_model_default_requests 1"),
+            std::string::npos);
+
+  // The listener survives repeated polls.
+  EXPECT_NE(HttpGet(server.metrics_port()).find("200 OK"), std::string::npos);
+  server.Stop();
+  obs::Metrics::Get().ResetAll();
+}
+
+TEST(ServerTest, SampledRequestsReconstructStageSpans) {
+  const Models& m = Fixture();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", m.path1));
+  ServeConfig config;
+  config.trace_sample_rate = 1.0;
+  Server server(&registry, config);
+  obs::Tracer::Get().Clear();
+  obs::EnableTracing(true);
+  ASSERT_TRUE(server.Start());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  const std::vector<std::string>& tokens = m.corpus.sentences[4].tokens;
+  ASSERT_TRUE(client.SendLine(TokensRequest(1, tokens)));
+  const std::string first = client.ReadLine();
+  ASSERT_TRUE(client.SendLine(TokensRequest(2, tokens)));  // cache hit
+  const std::string second = client.ReadLine();
+  server.Stop();
+  obs::EnableTracing(false);
+
+  // Tracing on must not perturb the served bytes.
+  const std::vector<text::Span> spans = m.pipeline1->Tag(tokens);
+  EXPECT_EQ(first, ExpectedLine(1, "default", false, tokens, spans));
+  EXPECT_EQ(second, ExpectedLine(2, "default", true, tokens, spans));
+
+  std::map<std::int64_t, std::string> requests;       // req id -> span args
+  std::map<std::int64_t, std::set<std::string>> stages;
+  bool saw_batch = false;
+  for (const obs::SpanEvent& s : obs::Tracer::Get().Snapshot()) {
+    if (s.name == "serve/batch") {
+      saw_batch = true;
+      EXPECT_NE(s.args.find("\"reqs\":["), std::string::npos) << s.args;
+    } else if (s.name == "serve/request") {
+      requests[ArgsReqId(s.args)] = s.args;
+    } else if (s.name.rfind("serve/stage/", 0) == 0) {
+      stages[ArgsReqId(s.args)].insert(s.name.substr(12));
+    }
+  }
+  obs::Tracer::Get().Clear();
+
+  EXPECT_TRUE(saw_batch);
+  ASSERT_EQ(requests.size(), 2u);
+  std::int64_t uncached = -1;
+  std::int64_t cached = -1;
+  for (const auto& [req, args] : requests) {
+    EXPECT_GT(req, 0);
+    if (args.find("\"cached\":false") != std::string::npos) uncached = req;
+    if (args.find("\"cached\":true") != std::string::npos) cached = req;
+  }
+  ASSERT_GT(uncached, 0);
+  ASSERT_GT(cached, 0);
+  // The uncached request reconstructs as the full four-stage lifecycle, all
+  // sharing its request id; the cache hit never entered the queue, so only
+  // its write stage exists.
+  EXPECT_EQ(stages[uncached],
+            (std::set<std::string>{"queue_wait", "batch_wait", "compute",
+                                   "write"}));
+  EXPECT_EQ(stages[cached], (std::set<std::string>{"write"}));
 }
 
 }  // namespace

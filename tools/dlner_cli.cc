@@ -304,6 +304,10 @@ int RunTagStream(const Args& args, core::Pipeline* pipeline) {
   opts.flush_sentences = args.GetInt("flush-sentences", 16);
   if (args.Has("doc-context")) opts.doc_context = 1;
   stream::StreamTagger tagger(pipeline, opts);
+  // One CLI invocation streams one document; context 1 groups its
+  // stream/feed|flush spans (and the plan/batch spans under them) in a
+  // merged trace the same way serve batch ids group server traffic.
+  tagger.set_trace_context(1);
   const int chunk_bytes = std::max(args.GetInt("chunk-bytes", 4096), 1);
 
   text::Corpus tagged;

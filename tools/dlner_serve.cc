@@ -9,10 +9,16 @@
 //   <- {"id":1,"model":"default","cached":false,"tokens":[...],"spans":[...]}
 //
 // plus admin commands ({"cmd":"reload","model":...,"path":...},
-// {"cmd":"models"}, {"cmd":"stats"}, {"cmd":"shutdown"}). Concurrent
-// requests are micro-batched through the compiled inference plan, so
-// responses are byte-identical to `dlner tag` on the same model and input.
+// {"cmd":"models"}, {"cmd":"stats"}, {"cmd":"metrics"},
+// {"cmd":"shutdown"}). Concurrent requests are micro-batched through the
+// compiled inference plan, so responses are byte-identical to `dlner tag`
+// on the same model and input. Live observability (request-scoped stage
+// spans, rolling serve.window.* metrics, a Prometheus scrape on
+// --metrics-port, SLO gauges, slow-request logging) is described in
+// docs/OBSERVABILITY.md.
+#include <algorithm>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -46,6 +52,18 @@ void Usage() {
       "                       model load requires its FILE.quant sidecar\n"
       "                       (written by `dlner quantize`)\n"
       "  --threads N          worker threads for the inference plan\n"
+      "  --metrics-port N     Prometheus text scrape on this port (HTTP;\n"
+      "                       0 = ephemeral, printed on stdout; default off)\n"
+      "  --trace-sample-rate F  fraction of requests traced as\n"
+      "                       serve/request + stage spans (default 1.0)\n"
+      "  --slow-request-us N  log serve_slow_request (warn, with stage\n"
+      "                       breakdown) for slower requests; 0 = off\n"
+      "  --slo-us N           latency objective feeding the rolling\n"
+      "                       slo_attainment / error-budget gauges; 0 = off\n"
+      "  --slo-target F       attainment target for the error budget\n"
+      "                       (default 0.99)\n"
+      "  --metrics-window-s N rolling-window length for serve.window.*\n"
+      "                       metrics (default 60, in 12 epochs)\n"
       "observability: --log-level LEVEL --trace-out FILE --metrics-out FILE\n"
       "document requests: add \"doc\":true to a tagging request to thread it\n"
       "                   through the connection's entity-consistency memory\n"
@@ -95,6 +113,12 @@ int main(int argc, char** argv) {
                 {"max-tokens", FlagKind::kValue},
                 {"quantized", FlagKind::kBool},
                 {"threads", FlagKind::kValue},
+                {"metrics-port", FlagKind::kValue},
+                {"trace-sample-rate", FlagKind::kValue},
+                {"slow-request-us", FlagKind::kValue},
+                {"slo-us", FlagKind::kValue},
+                {"slo-target", FlagKind::kValue},
+                {"metrics-window-s", FlagKind::kValue},
                 {"help", FlagKind::kBool}};
   tools::AddObsFlags(&spec);
   Args args;
@@ -139,6 +163,15 @@ int main(int argc, char** argv) {
   config.max_line_bytes = static_cast<std::size_t>(
       args.GetUInt64("max-line-bytes", 1 << 20));
   config.max_tokens = args.GetInt("max-tokens", 512);
+  config.metrics_port = args.GetInt("metrics-port", -1);
+  config.trace_sample_rate = args.GetDouble("trace-sample-rate", 1.0);
+  config.slow_request_us = args.GetInt("slow-request-us", 0);
+  config.slo_us = args.GetInt("slo-us", 0);
+  config.slo_target = args.GetDouble("slo-target", 0.99);
+  const int window_s = args.GetInt("metrics-window-s", 60);
+  config.window_epochs = 12;
+  config.window_epoch_us =
+      std::max<std::int64_t>(1, window_s * 1'000'000ll / config.window_epochs);
 
   serve::Server server(&registry, config);
   if (!server.Start()) {
@@ -149,6 +182,10 @@ int main(int argc, char** argv) {
   // The bound port on its own line so scripts (and bench_serve) can grab
   // an ephemeral port from stdout.
   std::printf("listening on %s:%d\n", config.host.c_str(), server.port());
+  if (server.metrics_port() > 0) {
+    std::printf("metrics on %s:%d\n", config.host.c_str(),
+                server.metrics_port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);

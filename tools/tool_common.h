@@ -49,8 +49,12 @@ inline void ApplyThreadsFlag(const core::Args& args) {
 inline bool FlushObsArtifacts(const core::Args& args) {
   bool ok = true;
   if (args.Has("metrics-out")) {
-    // Fold the thread-pool counters into the registry before the snapshot.
+    // Fold the thread-pool counters and the tracer's recorded/dropped span
+    // counts into the registry before the snapshot (a nonzero
+    // trace.dropped_spans means ring wraparound ate spans; check_trace.py
+    // warns on it).
     runtime::Runtime::Get().PublishMetrics();
+    obs::PublishTraceMetrics();
     const std::string path = args.Get("metrics-out");
     if (!obs::Metrics::Get().WriteJson(path)) {
       obs::ForceLog(obs::LogLevel::kError, "metrics_write_failed",
